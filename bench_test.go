@@ -1,0 +1,133 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// at benchmark scale (small map, short horizon, few runs — the shapes, not
+// the absolute numbers). Run the full-scale versions with
+// `go run ./cmd/experiments -full`.
+package priste_test
+
+import (
+	"testing"
+	"time"
+
+	"priste/internal/experiments"
+)
+
+// benchSynth is the benchmark-scale synthetic workload: 6×6 map, horizon
+// 24 (so the Fig. 8/9 window T={16:20} fits), 2 runs.
+func benchSynth() experiments.SyntheticConfig {
+	return experiments.SyntheticConfig{W: 6, H: 6, Cell: 1, Sigma: 1, T: 24, Runs: 2, Seed: 1}
+}
+
+func benchGeo() experiments.GeolifeConfig {
+	return experiments.GeolifeConfig{W: 6, H: 6, CellKm: 1, Days: 8, T: 12, Runs: 2, Seed: 2}
+}
+
+func benchBudgetFig(b *testing.B, name string, cfg experiments.BudgetFigConfig) {
+	b.Helper()
+	// One series per panel keeps iterations meaningful.
+	cfg.Epsilons = []float64{0.5}
+	cfg.Alphas = []float64{0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.BudgetFig(name, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7: per-timestamp budget for
+// PRESENCE(S={1:10}, T={4:8}) under PriSTE with geo-indistinguishability.
+func BenchmarkFig7(b *testing.B) {
+	benchBudgetFig(b, "Fig7", experiments.DefaultFig7(benchSynth()))
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (the later window T={16:20}).
+func BenchmarkFig8(b *testing.B) {
+	benchBudgetFig(b, "Fig8", experiments.DefaultFig8(benchSynth()))
+}
+
+// BenchmarkFig9 regenerates Fig. 9 (two events protected simultaneously).
+func BenchmarkFig9(b *testing.B) {
+	benchBudgetFig(b, "Fig9", experiments.DefaultFig9(benchSynth()))
+}
+
+// BenchmarkFig10 regenerates Fig. 10 (PriSTE with δ-location-set privacy).
+func BenchmarkFig10(b *testing.B) {
+	benchBudgetFig(b, "Fig10", experiments.DefaultFig10(benchSynth()))
+}
+
+// BenchmarkFig11 regenerates Fig. 11: utility vs ε across PLM budgets on
+// the Geolife-substitute workload.
+func BenchmarkFig11(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(benchGeo(), []float64{1}, []float64{0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Fig. 12: utility vs ε across δ values.
+func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(benchGeo(), 0.5, []float64{0.3}, []float64{0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates Fig. 13: utility vs ε across mobility-pattern
+// strengths σ.
+func BenchmarkFig13(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(benchSynth(), []float64{0.1, 10}, 1, []float64{0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14Length regenerates the Fig. 14 left panel: quantification
+// runtime versus event length, baseline included.
+func BenchmarkFig14Length(b *testing.B) {
+	cfg := experiments.DefaultRuntime(benchSynth())
+	cfg.Lengths = []int{2, 4, 6}
+	cfg.Widths = []int{2}
+	cfg.FixedWidth = 3
+	cfg.Trials = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig14(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14Width regenerates the Fig. 14 right panel: quantification
+// runtime versus event width.
+func BenchmarkFig14Width(b *testing.B) {
+	cfg := experiments.DefaultRuntime(benchSynth())
+	cfg.Lengths = []int{2}
+	cfg.Widths = []int{2, 4, 6}
+	cfg.FixedLength = 4
+	cfg.Trials = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig14(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates Table III: the conservative-release
+// threshold sweep.
+func BenchmarkTableIII(b *testing.B) {
+	cfg := experiments.DefaultTableIII(benchSynth())
+	cfg.Thresholds = []time.Duration{200 * time.Microsecond, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIII(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

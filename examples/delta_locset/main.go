@@ -1,0 +1,100 @@
+// δ-location-set case study: compare PriSTE around plain geo-
+// indistinguishability (Algorithm 2) with PriSTE around δ-location-set
+// privacy (Algorithm 3), the paper's second case study (§IV-D, Fig. 10).
+//
+// The δ-location-set mechanism exploits temporal correlation: it restricts
+// the output domain to the states the Markov prior considers plausible,
+// which buys utility (smaller Euclidean error) but — as the paper observes
+// — implies a weaker standalone privacy metric, so PriSTE has to calibrate
+// its budget more aggressively to protect the same event.
+//
+// Run: go run ./examples/delta_locset
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"priste"
+)
+
+func main() {
+	const (
+		epsilon = 0.5
+		alpha   = 1.0
+		horizon = 15
+		runs    = 8
+	)
+	g, err := priste.NewGrid(8, 8, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := g.States()
+	chain, err := priste.GaussianChain(g, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pi := priste.UniformDistribution(m)
+
+	region, err := priste.RegionRect(g, 0, 0, 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := priste.NewPresence(region, 3, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("event: %v, epsilon=%g, initial alpha=%g, %d runs\n\n", ev, epsilon, alpha, runs)
+	fmt.Println("mechanism            avg budget   avg Euclid err (km)   uniform fallbacks")
+
+	type build func(rng *rand.Rand) (priste.Mechanism, error)
+	cases := []struct {
+		name  string
+		build build
+	}{
+		{"geo-ind (Alg. 2)", func(*rand.Rand) (priste.Mechanism, error) {
+			return priste.NewPlanarLaplace(g), nil
+		}},
+		{"delta=0.2 (Alg. 3)", func(*rand.Rand) (priste.Mechanism, error) {
+			return priste.NewDeltaLocationSet(g, chain, pi, 0.2)
+		}},
+		{"delta=0.5 (Alg. 3)", func(*rand.Rand) (priste.Mechanism, error) {
+			return priste.NewDeltaLocationSet(g, chain, pi, 0.5)
+		}},
+	}
+	for _, c := range cases {
+		var budget, dist float64
+		uniform, steps := 0, 0
+		for k := 0; k < runs; k++ {
+			rng := rand.New(rand.NewSource(int64(100 + k)))
+			mech, err := c.build(rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fw, err := priste.NewFramework(mech, priste.Homogeneous(chain),
+				[]priste.Event{ev}, priste.DefaultConfig(epsilon, alpha), rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			truth := chain.SamplePath(rng, pi, horizon)
+			results, err := fw.Run(truth)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range results {
+				budget += r.Alpha
+				dist += g.Dist(truth[r.T], r.Obs)
+				if r.Uniform {
+					uniform++
+				}
+				steps++
+			}
+		}
+		fmt.Printf("%-20s  %9.4f   %19.3f   %17d\n",
+			c.name, budget/float64(steps), dist/float64(steps), uniform)
+	}
+	fmt.Println("\nThe delta-location-set variants calibrate to comparable budgets but their")
+	fmt.Println("restricted output domain keeps perturbed locations closer to the truth —")
+	fmt.Println("the utility/privacy trade-off the paper reports in Figs. 10 and 12.")
+}

@@ -1,0 +1,86 @@
+// Quickstart: protect a PRESENCE event while releasing a perturbed
+// trajectory through the planar Laplace mechanism.
+//
+// A user moves on a 10×10 km grid. The secret is "did the user visit the
+// clinic district (a 2×2 block) at any time during timestamps 3..7?" —
+// exactly the kind of spatiotemporal event the paper shows plain location
+// privacy does not cover. PriSTE calibrates the mechanism's budget at each
+// timestamp so an adversary with ANY prior belief about the user's
+// starting point cannot change their odds about the event by more than
+// e^ε.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"priste"
+)
+
+func main() {
+	const (
+		epsilon = 0.5 // ε-spatiotemporal event privacy
+		alpha   = 1.0 // initial planar-Laplace budget (1/km)
+		horizon = 12
+	)
+	g, err := priste.NewGrid(10, 10, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chain, err := priste.GaussianChain(g, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The sensitive clinic district: cells (2,2)-(3,3).
+	clinic, err := priste.RegionRect(g, 2, 2, 3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	visit, err := priste.NewPresence(clinic, 3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	fw, err := priste.NewFramework(
+		priste.NewPlanarLaplace(g),
+		priste.Homogeneous(chain),
+		[]priste.Event{visit},
+		priste.DefaultConfig(epsilon, alpha),
+		rng,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A true trajectory that passes through the clinic.
+	truth := chain.SamplePath(rng, priste.UniformDistribution(g.States()), horizon)
+	truth[4] = clinic.States()[0] // force a sensitive visit
+	fmt.Printf("protecting %v with epsilon=%g\n\n", visit, epsilon)
+	fmt.Println("  t  true cell  released cell  budget   attempts")
+
+	results, err := fw.Run(truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		mark := " "
+		if clinic.Contains(truth[r.T]) {
+			mark = "*" // truly inside the sensitive region
+		}
+		fmt.Printf("%s%3d  %9d  %13d  %6.4f  %8d\n", mark, r.T, truth[r.T], r.Obs, r.Alpha, r.Attempts)
+	}
+
+	// Audit: the realised privacy loss for an adversary with a uniform
+	// prior must stay within epsilon (the release-time certificate covers
+	// every prior, this just demonstrates one).
+	loss, err := fw.RealizedLoss(0, priste.UniformDistribution(g.States()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrealised privacy loss (uniform prior): %.4f <= epsilon %.1f\n", loss, epsilon)
+}

@@ -1,0 +1,195 @@
+// Package attack simulates the inference adversary of the paper's threat
+// model (§II, §VI-B): a Bayesian observer who knows the user's mobility
+// pattern (the Markov chain), the mechanism's emission matrices, and the
+// released perturbed locations, and who tries to (a) decide whether a
+// sensitive spatiotemporal event happened, (b) localise the user, and
+// (c) reconstruct the trajectory. It is used to demonstrate empirically
+// what the PriSTE guarantee buys: under ε-spatiotemporal event privacy the
+// adversary's posterior odds about the event cannot move beyond e^ε.
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"priste/internal/event"
+	"priste/internal/grid"
+	"priste/internal/hmm"
+	"priste/internal/markov"
+	"priste/internal/mat"
+	"priste/internal/world"
+)
+
+// Adversary bundles the attacker's knowledge.
+type Adversary struct {
+	Chain *markov.Chain
+	Pi    mat.Vector
+	// Grid is optional; needed only for distance-error metrics.
+	Grid *grid.Grid
+}
+
+// NewAdversary validates the knowledge tuple.
+func NewAdversary(chain *markov.Chain, pi mat.Vector, g *grid.Grid) (*Adversary, error) {
+	if chain.States() != len(pi) {
+		return nil, fmt.Errorf("attack: chain has %d states, pi has %d", chain.States(), len(pi))
+	}
+	if !pi.IsDistribution(1e-8) {
+		return nil, fmt.Errorf("attack: pi is not a distribution")
+	}
+	if g != nil && g.States() != chain.States() {
+		return nil, fmt.Errorf("attack: grid has %d states, chain has %d", g.States(), chain.States())
+	}
+	return &Adversary{Chain: chain, Pi: pi.Clone(), Grid: g}, nil
+}
+
+// EventInference is the outcome of the event-decision attack.
+type EventInference struct {
+	// Prior is Pr(EVENT) before any observation.
+	Prior float64
+	// Posterior[t] is Pr(EVENT | o₀..o_t).
+	Posterior []float64
+	// OddsShift is the worst multiplicative change of the event's odds
+	// across the observation prefixes — exactly the quantity
+	// ε-spatiotemporal event privacy bounds by e^ε.
+	OddsShift float64
+	// Guess is the adversary's final maximum-a-posteriori decision.
+	Guess bool
+}
+
+// InferEvent runs the Bayesian event-decision attack against a sequence of
+// released emission columns (col[t][i] = Pr(o_t | u_t = s_i)).
+func (a *Adversary) InferEvent(ev event.Event, emissions []mat.Vector) (*EventInference, error) {
+	md, err := world.NewModel(world.NewHomogeneous(a.Chain), ev)
+	if err != nil {
+		return nil, err
+	}
+	prior, err := md.Prior(a.Pi)
+	if err != nil {
+		return nil, err
+	}
+	post, err := world.EventPosterior(md, a.Pi, emissions)
+	if err != nil {
+		return nil, err
+	}
+	out := &EventInference{Prior: prior, Posterior: post}
+	if prior <= 0 || prior >= 1 {
+		return nil, fmt.Errorf("attack: event prior %g degenerate; odds undefined", prior)
+	}
+	priorOdds := prior / (1 - prior)
+	for _, p := range post {
+		if p <= 0 || p >= 1 {
+			out.OddsShift = math.Inf(1)
+			continue
+		}
+		shift := (p / (1 - p)) / priorOdds
+		if shift < 1 {
+			shift = 1 / shift
+		}
+		if shift > out.OddsShift {
+			out.OddsShift = shift
+		}
+	}
+	if len(post) > 0 {
+		out.Guess = post[len(post)-1] >= 0.5
+	} else {
+		out.Guess = prior >= 0.5
+	}
+	return out, nil
+}
+
+// LocationInference is the outcome of the localisation attack.
+type LocationInference struct {
+	// MAP[t] is the adversary's most likely state for time t given all
+	// observations (smoothing).
+	MAP []int
+	// MeanError is the mean distance between MAP and the true trajectory
+	// (grid units; requires a Grid, else NaN).
+	MeanError float64
+	// HitRate is the fraction of timestamps where MAP equals the truth.
+	HitRate float64
+}
+
+// InferLocations runs forward–backward smoothing against per-timestamp
+// emission columns and scores the MAP states against the true trajectory.
+func (a *Adversary) InferLocations(emissions []mat.Vector, truth []int) (*LocationInference, error) {
+	if len(emissions) != len(truth) {
+		return nil, fmt.Errorf("attack: %d emissions but %d true states", len(emissions), len(truth))
+	}
+	if len(emissions) == 0 {
+		return nil, fmt.Errorf("attack: no observations")
+	}
+	model, err := hmm.NewModel(a.Chain, a.Pi, columnEmission{cols: emissions, m: a.Chain.States()})
+	if err != nil {
+		return nil, err
+	}
+	// The column emission model indexes observations by timestamp.
+	obs := make([]int, len(emissions))
+	for i := range obs {
+		obs[i] = i
+	}
+	smooth, err := model.Smooth(obs)
+	if err != nil {
+		return nil, err
+	}
+	out := &LocationInference{MAP: make([]int, len(truth)), MeanError: math.NaN()}
+	hits := 0
+	var dist float64
+	for t, s := range smooth {
+		out.MAP[t] = s.ArgMax()
+		if out.MAP[t] == truth[t] {
+			hits++
+		}
+		if a.Grid != nil {
+			dist += a.Grid.Dist(out.MAP[t], truth[t])
+		}
+	}
+	out.HitRate = float64(hits) / float64(len(truth))
+	if a.Grid != nil {
+		out.MeanError = dist / float64(len(truth))
+	}
+	return out, nil
+}
+
+// RecoverTrajectory runs Viterbi decoding and reports the fraction of
+// correctly recovered timestamps.
+func (a *Adversary) RecoverTrajectory(emissions []mat.Vector, truth []int) (path []int, accuracy float64, err error) {
+	if len(emissions) != len(truth) {
+		return nil, 0, fmt.Errorf("attack: %d emissions but %d true states", len(emissions), len(truth))
+	}
+	model, err := hmm.NewModel(a.Chain, a.Pi, columnEmission{cols: emissions, m: a.Chain.States()})
+	if err != nil {
+		return nil, 0, err
+	}
+	obs := make([]int, len(emissions))
+	for i := range obs {
+		obs[i] = i
+	}
+	path, _, err = model.Viterbi(obs)
+	if err != nil {
+		return nil, 0, err
+	}
+	hits := 0
+	for t := range path {
+		if path[t] == truth[t] {
+			hits++
+		}
+	}
+	return path, float64(hits) / float64(len(truth)), nil
+}
+
+// columnEmission adapts pre-extracted emission columns (one per timestamp)
+// to the hmm.EmissionModel interface; the "observation symbol" is the
+// timestamp itself.
+type columnEmission struct {
+	cols []mat.Vector
+	m    int
+}
+
+func (c columnEmission) EmissionColumn(t, obs int) mat.Vector {
+	if obs < 0 || obs >= len(c.cols) {
+		panic(fmt.Sprintf("attack: timestamp-observation %d outside [0,%d)", obs, len(c.cols)))
+	}
+	return c.cols[obs]
+}
+
+func (c columnEmission) States() int { return c.m }

@@ -1,0 +1,222 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"priste/internal/core"
+	"priste/internal/event"
+	"priste/internal/grid"
+	"priste/internal/lppm"
+	"priste/internal/markov"
+	"priste/internal/mat"
+	"priste/internal/world"
+)
+
+type fixture struct {
+	g     *grid.Grid
+	chain *markov.Chain
+	pi    mat.Vector
+	adv   *Adversary
+	ev    event.Event
+}
+
+func newFixture(t *testing.T) fixture {
+	t.Helper()
+	g := grid.MustNew(4, 4, 1)
+	chain, err := markov.GaussianChain(g, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := markov.Uniform(16)
+	adv, err := NewAdversary(chain, pi, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := grid.RegionRect(g, 0, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixture{g: g, chain: chain, pi: pi, adv: adv,
+		ev: event.MustNewPresence(region, 2, 4)}
+}
+
+func TestNewAdversaryValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := NewAdversary(f.chain, markov.Uniform(4), f.g); err == nil {
+		t.Error("pi mismatch accepted")
+	}
+	if _, err := NewAdversary(f.chain, mat.Ones(16), f.g); err == nil {
+		t.Error("non-distribution accepted")
+	}
+	g2 := grid.MustNew(2, 2, 1)
+	if _, err := NewAdversary(f.chain, markov.Uniform(16), g2); err == nil {
+		t.Error("grid mismatch accepted")
+	}
+	if _, err := NewAdversary(f.chain, markov.Uniform(16), nil); err != nil {
+		t.Errorf("nil grid should be allowed: %v", err)
+	}
+}
+
+// plmColumns releases a trajectory through a bare PLM (no PriSTE) and
+// returns the realised emission columns.
+func plmColumns(t *testing.T, f fixture, rng *rand.Rand, truth []int, alpha float64) []mat.Vector {
+	t.Helper()
+	plm := lppm.NewPlanarLaplace(f.g)
+	em, err := plm.Emission(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([]mat.Vector, len(truth))
+	for i, u := range truth {
+		o, err := lppm.SampleRow(rng, em, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols[i] = em.Col(o)
+	}
+	return cols
+}
+
+// TestInferEventUnprotectedLeaks: against a bare high-budget PLM, a guilty
+// trajectory should push the adversary's posterior well above the prior.
+func TestInferEventUnprotectedLeaks(t *testing.T) {
+	f := newFixture(t)
+	rng := rand.New(rand.NewSource(3))
+	// A guilty trajectory camped inside the sensitive region during the
+	// window.
+	truth := []int{5, 1, 0, 0, 1, 5, 6, 7}
+	cols := plmColumns(t, f, rng, truth, 4.0)
+	inf, err := f.adv.InferEvent(f.ev, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Prior <= 0 || inf.Prior >= 1 {
+		t.Fatalf("prior = %v", inf.Prior)
+	}
+	final := inf.Posterior[len(inf.Posterior)-1]
+	if final < inf.Prior+0.2 {
+		t.Fatalf("posterior %v did not move from prior %v", final, inf.Prior)
+	}
+	if !inf.Guess {
+		t.Fatal("adversary should decide the event happened")
+	}
+	if inf.OddsShift < 2 {
+		t.Fatalf("odds shift %v too small for an unprotected release", inf.OddsShift)
+	}
+}
+
+// TestInferEventProtectedBounded: through PriSTE, the same attack's odds
+// shift must respect e^ε.
+func TestInferEventProtectedBounded(t *testing.T) {
+	f := newFixture(t)
+	const eps = 0.5
+	rng := rand.New(rand.NewSource(5))
+	fw, err := core.New(lppm.NewPlanarLaplace(f.g), world.NewHomogeneous(f.chain),
+		[]event.Event{f.ev}, core.DefaultConfig(eps, 4.0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []int{5, 1, 0, 0, 1, 5, 6, 7}
+	results, err := fw.Run(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plm := lppm.NewPlanarLaplace(f.g)
+	cols := make([]mat.Vector, len(results))
+	for i, r := range results {
+		if r.Uniform {
+			u := mat.NewVector(16)
+			for j := range u {
+				u[j] = 1.0 / 16
+			}
+			cols[i] = u
+			continue
+		}
+		em, err := plm.Emission(r.Alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols[i] = em.Col(r.Obs)
+	}
+	inf, err := f.adv.InferEvent(f.ev, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.OddsShift > math.Exp(eps)*(1+1e-6) {
+		t.Fatalf("odds shift %v exceeds e^eps = %v", inf.OddsShift, math.Exp(eps))
+	}
+}
+
+func TestInferLocations(t *testing.T) {
+	f := newFixture(t)
+	rng := rand.New(rand.NewSource(7))
+	truth := f.chain.SamplePath(rng, f.pi, 10)
+	// High budget: the adversary should localise well.
+	cols := plmColumns(t, f, rng, truth, 6.0)
+	sharp, err := f.adv.InferLocations(cols, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low budget: localisation degrades.
+	cols = plmColumns(t, f, rng, truth, 0.1)
+	blurry, err := f.adv.InferLocations(cols, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharp.HitRate <= blurry.HitRate-0.1 {
+		t.Fatalf("sharp hit rate %v should beat blurry %v", sharp.HitRate, blurry.HitRate)
+	}
+	if math.IsNaN(sharp.MeanError) {
+		t.Fatal("mean error missing despite grid")
+	}
+	if sharp.MeanError > blurry.MeanError+0.5 {
+		t.Fatalf("sharp error %v should not exceed blurry %v", sharp.MeanError, blurry.MeanError)
+	}
+	if _, err := f.adv.InferLocations(cols, truth[:3]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := f.adv.InferLocations(nil, nil); err == nil {
+		t.Error("empty observations accepted")
+	}
+}
+
+func TestRecoverTrajectory(t *testing.T) {
+	f := newFixture(t)
+	rng := rand.New(rand.NewSource(9))
+	truth := f.chain.SamplePath(rng, f.pi, 12)
+	cols := plmColumns(t, f, rng, truth, 6.0)
+	path, acc, err := f.adv.RecoverTrajectory(cols, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != len(truth) {
+		t.Fatalf("path length %d", len(path))
+	}
+	if acc < 0.5 {
+		t.Fatalf("high-budget recovery accuracy %v too low", acc)
+	}
+	if _, _, err := f.adv.RecoverTrajectory(cols[:2], truth); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestAdversaryWithoutGrid: distance metrics degrade gracefully.
+func TestAdversaryWithoutGrid(t *testing.T) {
+	f := newFixture(t)
+	adv, err := NewAdversary(f.chain, f.pi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	truth := f.chain.SamplePath(rng, f.pi, 5)
+	cols := plmColumns(t, f, rng, truth, 2)
+	inf, err := adv.InferLocations(cols, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(inf.MeanError) {
+		t.Fatal("expected NaN mean error without a grid")
+	}
+}

@@ -1,0 +1,292 @@
+// Package core implements the PriSTE framework of §IV: the release loop
+// (Algorithm 1) that drives an LPPM, quantifies the ε-spatiotemporal event
+// privacy of each candidate perturbed location with the two-possible-world
+// quantifier, and calibrates the LPPM's budget by exponential decay until
+// the Theorem IV.1 conditions are certified (Algorithm 2 for
+// geo-indistinguishability, Algorithm 3 for δ-location-set privacy — the
+// two case studies differ only in the Perturber supplied).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"priste/internal/event"
+	"priste/internal/lppm"
+	"priste/internal/mat"
+	"priste/internal/qp"
+	"priste/internal/world"
+)
+
+// Config tunes the release loop.
+type Config struct {
+	// Epsilon is the ε of ε-spatiotemporal event privacy (Definition II.4).
+	Epsilon float64
+	// Alpha is the LPPM's initial privacy budget at every timestamp.
+	Alpha float64
+	// Decay is the multiplicative budget decay applied on each rejected
+	// candidate (line 19 of Algorithm 2 uses 1/2). Must lie in (0,1).
+	// Smaller values converge faster at the cost of over-perturbation.
+	Decay float64
+	// MaxAttempts bounds the number of candidate draws per timestamp
+	// before the loop falls back to the uniform (zero-information)
+	// release, which satisfies the conditions for any ε. Default 40.
+	MaxAttempts int
+	// MinAlpha is the budget floor triggering the uniform fallback.
+	// Default Alpha·2⁻³⁰.
+	MinAlpha float64
+	// QPTimeout is the conservative-release threshold of §IV-C: the
+	// per-candidate time budget for the quadratic-program checks. An
+	// expired check counts as "not sure" and the candidate is rejected.
+	// Zero means no limit.
+	QPTimeout time.Duration
+	// QPTol is the positivity tolerance of the condition solver; zero
+	// uses the solver default.
+	QPTol float64
+}
+
+func (c Config) validate() error {
+	if c.Epsilon <= 0 || math.IsNaN(c.Epsilon) || math.IsInf(c.Epsilon, 0) {
+		return fmt.Errorf("core: epsilon must be positive and finite, got %g", c.Epsilon)
+	}
+	if c.Alpha <= 0 || math.IsNaN(c.Alpha) || math.IsInf(c.Alpha, 0) {
+		return fmt.Errorf("core: alpha must be positive and finite, got %g", c.Alpha)
+	}
+	if c.Decay <= 0 || c.Decay >= 1 || math.IsNaN(c.Decay) {
+		return fmt.Errorf("core: decay must lie in (0,1), got %g", c.Decay)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 40
+	}
+	if c.MinAlpha <= 0 {
+		c.MinAlpha = c.Alpha * math.Pow(2, -30)
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's experiment defaults for a given ε and
+// initial budget: halving decay and a 1-second conservative-release
+// threshold (§V-A).
+func DefaultConfig(epsilon, alpha float64) Config {
+	return Config{
+		Epsilon:   epsilon,
+		Alpha:     alpha,
+		Decay:     0.5,
+		QPTimeout: time.Second,
+	}
+}
+
+// StepResult records one released timestamp.
+type StepResult struct {
+	T   int
+	Obs int
+	// Alpha is the final budget used for the release; 0 when the uniform
+	// fallback fired (no information released).
+	Alpha float64
+	// Attempts is the number of candidate draws, including the released
+	// one (1 = first candidate accepted).
+	Attempts int
+	// ConservativeRejections counts candidates rejected only because the
+	// QP solver ran out of budget (Unknown verdicts), the quantity
+	// Table III reports as "# of Conservative Release".
+	ConservativeRejections int
+	// Uniform marks the zero-information fallback.
+	Uniform bool
+	// CheckTime is the total wall time spent in the QP checks.
+	CheckTime time.Duration
+}
+
+// Framework is the PriSTE release loop protecting one or more
+// spatiotemporal events simultaneously (Fig. 9 protects two).
+type Framework struct {
+	mech   lppm.Perturber
+	quants []*world.Quantifier
+	events []event.Event
+	cfg    Config
+	rng    *rand.Rand
+
+	m          int
+	uniformCol mat.Vector
+	uniformEm  *mat.Matrix
+	t          int
+}
+
+// New builds a framework protecting the given events under the supplied
+// mobility model. The transition provider is shared across events.
+func New(mech lppm.Perturber, tp world.TransitionProvider, events []event.Event, cfg Config, rng *rand.Rand) (*Framework, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("core: at least one event is required")
+	}
+	if mech.States() != tp.States() {
+		return nil, fmt.Errorf("core: mechanism has %d states, chain has %d", mech.States(), tp.States())
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	cfg = cfg.withDefaults()
+	f := &Framework{
+		mech:   mech,
+		events: events,
+		cfg:    cfg,
+		rng:    rng,
+		m:      mech.States(),
+	}
+	for _, ev := range events {
+		md, err := world.NewModel(tp, ev)
+		if err != nil {
+			return nil, fmt.Errorf("core: event %v: %w", ev, err)
+		}
+		f.quants = append(f.quants, world.NewQuantifier(md))
+	}
+	f.uniformCol = mat.NewVector(f.m)
+	f.uniformEm = mat.NewMatrix(f.m, f.m)
+	for i := 0; i < f.m; i++ {
+		f.uniformCol[i] = 1 / float64(f.m)
+		row := f.uniformEm.Row(i)
+		for j := range row {
+			row[j] = 1 / float64(f.m)
+		}
+	}
+	return f, nil
+}
+
+// T returns the next timestamp to be released.
+func (f *Framework) T() int { return f.t }
+
+// Events returns the protected events.
+func (f *Framework) Events() []event.Event { return f.events }
+
+// Step perturbs and releases one true location (the body of Algorithm 1):
+// draw a candidate from the LPPM, certify the Theorem IV.1 conditions for
+// every protected event, decay the budget and redraw on failure, and fall
+// back to a uniform release when the budget underflows. The uniform
+// release is provably safe: with a state-independent emission column the
+// condition values scale by a positive constant, so certified conditions
+// remain certified.
+func (f *Framework) Step(trueLoc int) (StepResult, error) {
+	if trueLoc < 0 || trueLoc >= f.m {
+		return StepResult{}, fmt.Errorf("core: true location %d outside [0,%d)", trueLoc, f.m)
+	}
+	t := f.t
+	if err := f.mech.Begin(t); err != nil {
+		return StepResult{}, fmt.Errorf("core: mechanism Begin(%d): %w", t, err)
+	}
+	res := StepResult{T: t}
+	alpha := f.cfg.Alpha
+	relOpts := qp.ReleaseOptions{
+		Solver:   qp.Options{Tol: f.cfg.QPTol},
+		Deadline: f.cfg.QPTimeout,
+	}
+	for attempt := 1; attempt <= f.cfg.MaxAttempts && alpha >= f.cfg.MinAlpha; attempt++ {
+		res.Attempts = attempt
+		em, err := f.mech.Emission(alpha)
+		if err != nil {
+			return StepResult{}, fmt.Errorf("core: emission at alpha=%g: %w", alpha, err)
+		}
+		obs, err := lppm.SampleRow(f.rng, em, trueLoc)
+		if err != nil {
+			return StepResult{}, fmt.Errorf("core: sampling: %w", err)
+		}
+		col := em.Col(obs)
+		ok, conservative, dur, err := f.checkAll(col, relOpts)
+		res.CheckTime += dur
+		if err != nil {
+			return StepResult{}, err
+		}
+		if ok {
+			if err := f.commit(t, obs, col); err != nil {
+				return StepResult{}, err
+			}
+			res.Obs = obs
+			res.Alpha = alpha
+			return res, nil
+		}
+		if conservative {
+			res.ConservativeRejections++
+		}
+		alpha *= f.cfg.Decay
+	}
+	// Uniform fallback: α → 0 releases no information about the true
+	// location (§IV-C).
+	obs, err := lppm.SampleRow(f.rng, f.uniformEm, trueLoc)
+	if err != nil {
+		return StepResult{}, err
+	}
+	if err := f.commit(t, obs, f.uniformCol); err != nil {
+		return StepResult{}, err
+	}
+	res.Obs = obs
+	res.Alpha = 0
+	res.Uniform = true
+	res.Attempts++
+	return res, nil
+}
+
+// checkAll certifies the conditions for every protected event.
+func (f *Framework) checkAll(col mat.Vector, opts qp.ReleaseOptions) (ok, conservative bool, dur time.Duration, err error) {
+	start := time.Now()
+	defer func() { dur = time.Since(start) }()
+	for i, q := range f.quants {
+		chk, err := q.Check(col)
+		if err != nil {
+			return false, false, 0, fmt.Errorf("core: quantifier %d: %w", i, err)
+		}
+		chk.Epsilon = f.cfg.Epsilon
+		dec, err := qp.CheckRelease(chk, opts)
+		if err != nil {
+			return false, false, 0, fmt.Errorf("core: release check %d: %w", i, err)
+		}
+		if !dec.OK {
+			return false, dec.Conservative, 0, nil
+		}
+	}
+	return true, false, 0, nil
+}
+
+// commit folds the released observation into every quantifier and the
+// mechanism state.
+func (f *Framework) commit(t, obs int, col mat.Vector) error {
+	for i, q := range f.quants {
+		if err := q.Commit(col); err != nil {
+			return fmt.Errorf("core: commit quantifier %d: %w", i, err)
+		}
+	}
+	if err := f.mech.Observe(t, obs, col); err != nil {
+		return fmt.Errorf("core: mechanism Observe: %w", err)
+	}
+	f.t++
+	return nil
+}
+
+// Run releases a whole trajectory and returns the per-timestamp results.
+func (f *Framework) Run(traj []int) ([]StepResult, error) {
+	out := make([]StepResult, 0, len(traj))
+	for _, u := range traj {
+		r, err := f.Step(u)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RealizedLoss returns, for a fixed initial probability, the realised
+// privacy loss of the observation sequence committed so far with respect
+// to protected event i (diagnostics; the release-time guarantee already
+// holds for every initial probability).
+func (f *Framework) RealizedLoss(i int, pi mat.Vector) (float64, error) {
+	if i < 0 || i >= len(f.quants) {
+		return 0, fmt.Errorf("core: event index %d outside [0,%d)", i, len(f.quants))
+	}
+	return qp.FixedPiLoss(f.quants[i].Current(), pi)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"priste/internal/event"
+	"priste/internal/grid"
+	"priste/internal/lppm"
+	"priste/internal/markov"
+	"priste/internal/mat"
+	"priste/internal/world"
+)
+
+// TestFrameworkWithCompiledEvent drives the release loop with an event
+// produced by the Boolean-expression compiler.
+func TestFrameworkWithCompiledEvent(t *testing.T) {
+	s := setup(t)
+	expr := event.And(
+		event.Or(event.Pred(2, 0), event.Pred(2, 1)),
+		event.Or(event.Pred(4, 4), event.Pred(4, 5)),
+	)
+	ev, err := event.CompileWithStates(expr, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	f, err := New(lppm.NewPlanarLaplace(s.g), s.tp, []event.Event{ev}, DefaultConfig(0.5, 1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := s.chain.SamplePath(rng, markov.Uniform(9), 7)
+	if _, err := f.Run(traj); err != nil {
+		t.Fatal(err)
+	}
+	loss, err := f.RealizedLoss(0, markov.Uniform(9))
+	if err != nil {
+		t.Skip("degenerate prior for this compiled event")
+	}
+	if loss > 0.5+1e-6 {
+		t.Fatalf("loss %v exceeds epsilon", loss)
+	}
+}
+
+// TestFrameworkWithSparsePresence protects a non-consecutive-time event.
+func TestFrameworkWithSparsePresence(t *testing.T) {
+	s := setup(t)
+	region, err := grid.RegionRect(s.g, 0, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := event.NewSparsePresence(region, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	f, err := New(lppm.NewPlanarLaplace(s.g), s.tp, []event.Event{ev}, DefaultConfig(0.6, 1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := s.chain.SamplePath(rng, markov.Uniform(9), 7)
+	if _, err := f.Run(traj); err != nil {
+		t.Fatal(err)
+	}
+	loss, err := f.RealizedLoss(0, markov.Uniform(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.6+1e-6 {
+		t.Fatalf("loss %v exceeds epsilon", loss)
+	}
+}
+
+// TestFrameworkWithTimeVaryingChain drives the loop on a Varying
+// provider (the paper's footnote 3 setting).
+func TestFrameworkWithTimeVaryingChain(t *testing.T) {
+	s := setup(t)
+	// Morning chain: the Gaussian chain; afternoon chain: a lazier walk.
+	lazy, err := markov.LazyRandomWalk(s.g, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := world.NewVarying([]*mat.Matrix{
+		s.chain.Matrix(), s.chain.Matrix(), s.chain.Matrix(),
+		lazy.Matrix(), lazy.Matrix(), lazy.Matrix(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(37))
+	f, err := New(lppm.NewPlanarLaplace(s.g), tp, []event.Event{s.ev}, DefaultConfig(0.5, 1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := s.chain.SamplePath(rng, markov.Uniform(9), 6)
+	results, err := f.Run(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("released %d", len(results))
+	}
+	loss, err := f.RealizedLoss(0, markov.Uniform(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.5+1e-6 {
+		t.Fatalf("loss %v exceeds epsilon under time-varying chain", loss)
+	}
+}
+
+// TestFrameworkUniformMechanism: the uniform mechanism trivially satisfies
+// any epsilon without calibration.
+func TestFrameworkUniformMechanism(t *testing.T) {
+	s := setup(t)
+	mech, err := lppm.NewUniform(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	f, err := New(mech, s.tp, []event.Event{s.ev}, DefaultConfig(0.01, 1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := s.chain.SamplePath(rng, markov.Uniform(9), 5)
+	results, err := f.Run(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Attempts != 1 {
+			t.Fatalf("uniform mechanism needed %d attempts at t=%d", r.Attempts, r.T)
+		}
+	}
+}
+
+// TestFrameworkIdentityMechanismForcedToFallback: the identity mechanism
+// cannot satisfy a tight epsilon at any budget (its emission is
+// budget-independent), so the loop must exhaust attempts and fall back.
+func TestFrameworkIdentityMechanismForcedToFallback(t *testing.T) {
+	s := setup(t)
+	mech, err := lppm.NewIdentity(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(0.05, 1)
+	cfg.MaxAttempts = 5
+	rng := rand.New(rand.NewSource(43))
+	f, err := New(mech, s.tp, []event.Event{s.ev}, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk straight through the sensitive region during the window.
+	traj := []int{4, 3, 0, 0, 3, 4}
+	results, err := f.Run(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallbacks := 0
+	for _, r := range results {
+		if r.Uniform {
+			fallbacks++
+		}
+	}
+	if fallbacks == 0 {
+		t.Fatal("identity mechanism should have been forced to the uniform fallback")
+	}
+	loss, err := f.RealizedLoss(0, markov.Uniform(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.05+1e-6 {
+		t.Fatalf("loss %v exceeds epsilon despite fallbacks", loss)
+	}
+}

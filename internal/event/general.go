@@ -1,0 +1,302 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+
+	"priste/internal/grid"
+)
+
+// General events: PRESENCE/PATTERN with a possibly different region at
+// every timestamp. They are the closure of what the two-possible-world
+// quantifier can represent — sticky dynamics (an OR of predicates) or
+// sequential dynamics (an AND over timestamps of ORs over states) — and
+// the compilation target for arbitrary Boolean expressions (Compile).
+
+// GeneralPresence is true iff the user is inside Regions[t] at some
+// timestamp t with a non-empty region. Distinct timestamps may have
+// distinct regions, generalising both Presence and SparsePresence.
+type GeneralPresence struct {
+	regions map[int]*grid.Region
+	times   []int
+	m       int
+	empty   *grid.Region
+}
+
+// NewGeneralPresence validates and returns the event. regions maps
+// timestamps to the region sensitive at that timestamp.
+func NewGeneralPresence(regions map[int]*grid.Region) (*GeneralPresence, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("event: general presence needs at least one timestamp")
+	}
+	m := -1
+	var times []int
+	for t, r := range regions {
+		if t < 0 {
+			return nil, fmt.Errorf("event: negative timestamp %d", t)
+		}
+		if r == nil || r.IsEmpty() {
+			return nil, fmt.Errorf("event: empty region at timestamp %d", t)
+		}
+		if m == -1 {
+			m = r.Len()
+		} else if r.Len() != m {
+			return nil, fmt.Errorf("event: region at t=%d has %d states, want %d", t, r.Len(), m)
+		}
+		times = append(times, t)
+	}
+	sort.Ints(times)
+	cp := make(map[int]*grid.Region, len(regions))
+	for t, r := range regions {
+		cp[t] = r
+	}
+	return &GeneralPresence{regions: cp, times: times, m: m, empty: grid.NewRegion(m)}, nil
+}
+
+// States returns the state-space size m.
+func (p *GeneralPresence) States() int { return p.m }
+
+// Window returns the inclusive [min, max] constrained timestamps.
+func (p *GeneralPresence) Window() (start, end int) {
+	return p.times[0], p.times[len(p.times)-1]
+}
+
+// RegionAt returns the sensitive region at t, or the empty region at
+// in-window gaps.
+func (p *GeneralPresence) RegionAt(t int) *grid.Region {
+	start, end := p.Window()
+	if t < start || t > end {
+		panic(fmt.Sprintf("event: RegionAt(%d) outside window [%d,%d]", t, start, end))
+	}
+	if r, ok := p.regions[t]; ok {
+		return r
+	}
+	return p.empty
+}
+
+// Sticky reports OR semantics.
+func (p *GeneralPresence) Sticky() bool { return true }
+
+// Truth evaluates the event on a full trajectory.
+func (p *GeneralPresence) Truth(traj []int) bool {
+	_, end := p.Window()
+	if len(traj) <= end {
+		panic(fmt.Sprintf("event: trajectory of length %d does not cover window end %d", len(traj), end))
+	}
+	for _, t := range p.times {
+		if p.regions[t].Contains(traj[t]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Expr expands into the disjunction of all (t, s) predicates.
+func (p *GeneralPresence) Expr() *Expr {
+	var kids []*Expr
+	for _, t := range p.times {
+		for _, s := range p.regions[t].States() {
+			kids = append(kids, Pred(t, s))
+		}
+	}
+	return Or(kids...)
+}
+
+// String renders the event.
+func (p *GeneralPresence) String() string {
+	return fmt.Sprintf("PRESENCE(general, T=%v)", p.times)
+}
+
+// NewGeneralPattern returns the sequential counterpart: true iff the user
+// is inside regions[t] at *every* constrained timestamp. It is exactly
+// SparsePattern and shares its implementation.
+func NewGeneralPattern(regions map[int]*grid.Region) (*SparsePattern, error) {
+	times := make([]int, 0, len(regions))
+	for t := range regions {
+		times = append(times, t)
+	}
+	sort.Ints(times)
+	rs := make([]*grid.Region, len(times))
+	for i, t := range times {
+		rs[i] = regions[t]
+	}
+	return NewSparsePattern(times, rs)
+}
+
+var _ Event = (*GeneralPresence)(nil)
+
+// Compile translates a Boolean expression over (location, time) predicates
+// (Definition II.1) into an Event the two-possible-world quantifier can
+// protect. Two shapes are supported, covering all six Fig. 1 cases:
+//
+//   - a disjunction (arbitrarily nested OR) of predicates — compiled to a
+//     GeneralPresence ("the user hits any listed (t, s) pair");
+//   - a conjunction of per-timestamp disjunctions — compiled to a
+//     GeneralPattern, provided each conjunct's predicates share one
+//     timestamp and no timestamp appears in two conjuncts.
+//
+// Expressions outside this class (negations, conjunctions of predicates at
+// the same timestamp that are unsatisfiable, cross-timestamp ORs inside a
+// conjunct) return an error describing the obstacle; for those the naive
+// evaluators of Appendix B remain available.
+func Compile(e *Expr) (Event, error) {
+	if e == nil {
+		return nil, fmt.Errorf("event: nil expression")
+	}
+	if preds, ok := flattenOr(e); ok {
+		regions, err := groupByTime(preds)
+		if err != nil {
+			return nil, err
+		}
+		return NewGeneralPresence(regions)
+	}
+	if e.Op == OpAnd {
+		regions := make(map[int]*grid.Region)
+		for _, kid := range e.Kids {
+			preds, ok := flattenOr(kid)
+			if !ok {
+				return nil, fmt.Errorf("event: conjunct %v is not a disjunction of predicates", kid)
+			}
+			t := preds[0].T
+			var states []int
+			maxState := 0
+			for _, p := range preds {
+				if p.T != t {
+					return nil, fmt.Errorf("event: conjunct %v mixes timestamps %d and %d", kid, t, p.T)
+				}
+				states = append(states, p.State)
+				if p.State > maxState {
+					maxState = p.State
+				}
+			}
+			if _, dup := regions[t]; dup {
+				return nil, fmt.Errorf("event: two conjuncts constrain timestamp %d (intersect them first)", t)
+			}
+			r, err := grid.RegionOf(maxState+1, states...)
+			if err != nil {
+				return nil, err
+			}
+			regions[t] = r
+		}
+		if err := padRegions(regions); err != nil {
+			return nil, err
+		}
+		return NewGeneralPattern(regions)
+	}
+	return nil, fmt.Errorf("event: expression %v is neither a disjunction of predicates nor a conjunction of per-timestamp disjunctions", e)
+}
+
+// CompileWithStates is Compile with an explicit state-space size (Compile
+// infers the minimal size from the largest referenced state, which is
+// usually not the map size).
+func CompileWithStates(e *Expr, m int) (Event, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("event: m must be positive")
+	}
+	ev, err := Compile(e)
+	if err != nil {
+		return nil, err
+	}
+	return resizeEvent(ev, m)
+}
+
+// flattenOr collects the predicate leaves of a pure disjunction tree.
+func flattenOr(e *Expr) ([]Predicate, bool) {
+	switch e.Op {
+	case OpPred:
+		return []Predicate{e.Pred}, true
+	case OpOr:
+		var out []Predicate
+		for _, kid := range e.Kids {
+			ps, ok := flattenOr(kid)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, ps...)
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// groupByTime buckets predicates into per-timestamp regions sized by the
+// largest referenced state.
+func groupByTime(preds []Predicate) (map[int]*grid.Region, error) {
+	maxState := 0
+	for _, p := range preds {
+		if p.State < 0 {
+			return nil, fmt.Errorf("event: negative state %d", p.State)
+		}
+		if p.State > maxState {
+			maxState = p.State
+		}
+	}
+	m := maxState + 1
+	regions := make(map[int]*grid.Region)
+	for _, p := range preds {
+		r, ok := regions[p.T]
+		if !ok {
+			r = grid.NewRegion(m)
+			regions[p.T] = r
+		}
+		r.Add(p.State)
+	}
+	return regions, nil
+}
+
+// padRegions rescales all regions in the map to the largest state space
+// among them (Compile infers sizes per conjunct).
+func padRegions(regions map[int]*grid.Region) error {
+	m := 0
+	for _, r := range regions {
+		if r.Len() > m {
+			m = r.Len()
+		}
+	}
+	for t, r := range regions {
+		if r.Len() == m {
+			continue
+		}
+		grown, err := grid.RegionOf(m, r.States()...)
+		if err != nil {
+			return err
+		}
+		regions[t] = grown
+	}
+	return nil
+}
+
+// resizeEvent rebuilds a compiled event over a larger state space.
+func resizeEvent(ev Event, m int) (Event, error) {
+	if ev.States() > m {
+		return nil, fmt.Errorf("event: expression references state %d beyond map size %d", ev.States()-1, m)
+	}
+	if ev.States() == m {
+		return ev, nil
+	}
+	switch e := ev.(type) {
+	case *GeneralPresence:
+		regions := make(map[int]*grid.Region, len(e.times))
+		for _, t := range e.times {
+			r, err := grid.RegionOf(m, e.regions[t].States()...)
+			if err != nil {
+				return nil, err
+			}
+			regions[t] = r
+		}
+		return NewGeneralPresence(regions)
+	case *SparsePattern:
+		regions := make(map[int]*grid.Region, len(e.times))
+		for _, t := range e.times {
+			r, err := grid.RegionOf(m, e.regions[t].States()...)
+			if err != nil {
+				return nil, err
+			}
+			regions[t] = r
+		}
+		return NewGeneralPattern(regions)
+	default:
+		return nil, fmt.Errorf("event: cannot resize %T", ev)
+	}
+}

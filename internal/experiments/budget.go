@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"priste/internal/event"
+	"priste/internal/metrics"
+)
+
+// Figs. 7–10: average PLM budget at each timestamp while protecting
+// PRESENCE events, for sweeps over ε and over the PLM's initial budget α.
+
+// BudgetFigConfig parameterises the per-timestamp budget figures. All
+// state/time ranges use the paper's 1-based inclusive notation, e.g.
+// PRESENCE(S={1:10}, T={4:8}).
+type BudgetFigConfig struct {
+	Synth SyntheticConfig
+	// Windows lists the protected PRESENCE events, one [start,end] time
+	// window each over the state range States (Fig. 9 protects two).
+	Windows [][2]int
+	States  [2]int
+	// Panel (a): a fixed α-PLM swept over ε.
+	FixedAlpha float64
+	Epsilons   []float64
+	// Panel (b): a fixed ε swept over PLM budgets.
+	FixedEpsilon float64
+	Alphas       []float64
+	// Mechanism selects Algorithm 2 (PLM) or Algorithm 3 (DeltaLoc).
+	Mechanism MechanismKind
+	Delta     float64 // δ for DeltaLoc
+	QPTimeout time.Duration
+}
+
+// DefaultFig7 returns a scaled-down Fig. 7 configuration: the paper's
+// event PRESENCE(S={1:10}, T={4:8}) under a 0.2-PLM for ε ∈ {0.1,0.5,1}
+// and under {0.1,0.5,1}-PLMs for ε = 0.5.
+func DefaultFig7(synth SyntheticConfig) BudgetFigConfig {
+	return BudgetFigConfig{
+		Synth:        synth,
+		Windows:      [][2]int{{4, 8}},
+		States:       [2]int{1, 10},
+		FixedAlpha:   0.2,
+		Epsilons:     []float64{0.1, 0.5, 1},
+		FixedEpsilon: 0.5,
+		Alphas:       []float64{0.1, 0.5, 1},
+		Mechanism:    PLM,
+	}
+}
+
+// DefaultFig8 is Fig. 7 with the later window T={16:20}.
+func DefaultFig8(synth SyntheticConfig) BudgetFigConfig {
+	cfg := DefaultFig7(synth)
+	cfg.Windows = [][2]int{{16, 20}}
+	return cfg
+}
+
+// DefaultFig9 protects both windows simultaneously.
+func DefaultFig9(synth SyntheticConfig) BudgetFigConfig {
+	cfg := DefaultFig7(synth)
+	cfg.Windows = [][2]int{{4, 8}, {16, 20}}
+	return cfg
+}
+
+// DefaultFig10 is the δ-location-set variant (Algorithm 3) of Fig. 7 with
+// δ = 0.2.
+func DefaultFig10(synth SyntheticConfig) BudgetFigConfig {
+	cfg := DefaultFig7(synth)
+	cfg.Mechanism = DeltaLoc
+	cfg.Delta = 0.2
+	return cfg
+}
+
+// BudgetFig runs both panels and returns their tables: (a) fixed α,
+// varying ε; (b) fixed ε, varying α.
+func BudgetFig(name string, cfg BudgetFigConfig) (panelA, panelB *Table, err error) {
+	w, err := Synthetic(cfg.Synth)
+	if err != nil {
+		return nil, nil, err
+	}
+	events, err := cfg.events(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	specA := make([]ReleaseSpec, len(cfg.Epsilons))
+	labelsA := make([]string, len(cfg.Epsilons))
+	for i, eps := range cfg.Epsilons {
+		specA[i] = ReleaseSpec{Kind: cfg.Mechanism, Alpha: cfg.FixedAlpha, Delta: cfg.Delta,
+			Epsilon: eps, QPTimeout: cfg.QPTimeout}
+		labelsA[i] = fmt.Sprintf("eps=%g", eps)
+	}
+	panelA, err = budgetPanel(name+"(a) "+fmt.Sprintf("%g-PLM, varying eps", cfg.FixedAlpha),
+		w, events, specA, labelsA)
+	if err != nil {
+		return nil, nil, err
+	}
+	specB := make([]ReleaseSpec, len(cfg.Alphas))
+	labelsB := make([]string, len(cfg.Alphas))
+	for i, a := range cfg.Alphas {
+		specB[i] = ReleaseSpec{Kind: cfg.Mechanism, Alpha: a, Delta: cfg.Delta,
+			Epsilon: cfg.FixedEpsilon, QPTimeout: cfg.QPTimeout}
+		labelsB[i] = fmt.Sprintf("alpha=%g", a)
+	}
+	panelB, err = budgetPanel(name+"(b) "+fmt.Sprintf("eps=%g, varying alpha", cfg.FixedEpsilon),
+		w, events, specB, labelsB)
+	if err != nil {
+		return nil, nil, err
+	}
+	return panelA, panelB, nil
+}
+
+func (cfg BudgetFigConfig) events(w *Workload) ([]event.Event, error) {
+	m := w.Grid.States()
+	if cfg.States[1] > m {
+		return nil, fmt.Errorf("experiments: event states %v exceed map size %d", cfg.States, m)
+	}
+	var events []event.Event
+	for _, win := range cfg.Windows {
+		if win[1] > len(w.Trajs[0]) {
+			return nil, fmt.Errorf("experiments: event window %v exceeds horizon %d", win, len(w.Trajs[0]))
+		}
+		ev, err := PresenceRange(m, cfg.States[0], cfg.States[1], win[0], win[1])
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// budgetPanel runs each spec over the workload and tabulates the mean and
+// std of the released budget at every timestamp.
+func budgetPanel(name string, w *Workload, events []event.Event, specs []ReleaseSpec, labels []string) (*Table, error) {
+	series := make([]metrics.Series, len(specs))
+	for i, spec := range specs {
+		runs, err := RunReleases(w, events, spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", labels[i], err)
+		}
+		s, err := metrics.BudgetSeries(runs)
+		if err != nil {
+			return nil, err
+		}
+		series[i] = s
+	}
+	cols := []string{"t"}
+	for _, l := range labels {
+		cols = append(cols, l+" mean", l+" std")
+	}
+	tab := &Table{
+		Name:    name,
+		Note:    fmt.Sprintf("events: %v, runs: %d", eventNames(events), len(w.Trajs)),
+		Columns: cols,
+	}
+	horizon := len(series[0].Mean)
+	for t := 0; t < horizon; t++ {
+		row := []string{fmt.Sprintf("%d", t+1)} // report in the paper's 1-based time
+		for _, s := range series {
+			row = append(row, f4(s.Mean[t]), f4(s.Std[t]))
+		}
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}
+
+func eventNames(events []event.Event) []string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		out[i] = ev.String()
+	}
+	return out
+}

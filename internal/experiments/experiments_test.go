@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinySynth is a fast workload for tests: 4×4 map, short horizon, 2 runs.
+func tinySynth() SyntheticConfig {
+	return SyntheticConfig{W: 4, H: 4, Cell: 1, Sigma: 1, T: 10, Runs: 2, Seed: 3}
+}
+
+func tinyGeo() GeolifeConfig {
+	return GeolifeConfig{W: 4, H: 4, CellKm: 1, Days: 6, T: 10, Runs: 2, Seed: 4}
+}
+
+func TestSyntheticWorkload(t *testing.T) {
+	w, err := Synthetic(tinySynth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Trajs) != 2 || len(w.Trajs[0]) != 10 {
+		t.Fatalf("trajectories %dx%d", len(w.Trajs), len(w.Trajs[0]))
+	}
+	if w.Grid.States() != 16 || w.Chain.States() != 16 {
+		t.Fatal("dimensions wrong")
+	}
+	if _, err := Synthetic(SyntheticConfig{W: 0, H: 4, Cell: 1, Sigma: 1, T: 5, Runs: 1}); err == nil {
+		t.Error("bad grid accepted")
+	}
+	if _, err := Synthetic(SyntheticConfig{W: 4, H: 4, Cell: 1, Sigma: 1, T: 0, Runs: 1}); err == nil {
+		t.Error("T=0 accepted")
+	}
+}
+
+func TestGeolifeWorkload(t *testing.T) {
+	w, err := Geolife(tinyGeo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Trajs) != 2 || len(w.Trajs[0]) != 10 {
+		t.Fatalf("trajectories %dx%d", len(w.Trajs), len(w.Trajs[0]))
+	}
+	if !w.Pi.IsDistribution(1e-8) {
+		t.Fatal("pi not a distribution")
+	}
+	if _, err := Geolife(GeolifeConfig{W: 4, H: 4, CellKm: 1, T: 0, Runs: 1}); err == nil {
+		t.Error("T=0 accepted")
+	}
+}
+
+func TestPresenceAndPatternRange(t *testing.T) {
+	ev, err := PresenceRange(16, 1, 10, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, e := ev.Window(); s != 3 || e != 7 {
+		t.Fatalf("window = %d..%d", s, e)
+	}
+	if ev.Width() != 10 {
+		t.Fatalf("width = %d", ev.Width())
+	}
+	if _, err := PresenceRange(16, 1, 20, 4, 8); err == nil {
+		t.Error("oversized state range accepted")
+	}
+	p, err := PatternRange(16, [][2]int{{1, 3}, {2, 4}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, e := p.Window(); s != 2 || e != 3 {
+		t.Fatalf("pattern window = %d..%d", s, e)
+	}
+}
+
+func TestRunReleasesBothMechanisms(t *testing.T) {
+	w, err := Synthetic(tinySynth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := BudgetFigConfig{States: [2]int{1, 4}, Windows: [][2]int{{3, 5}}}.events(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []ReleaseSpec{
+		{Kind: PLM, Alpha: 0.5, Epsilon: 1},
+		{Kind: DeltaLoc, Alpha: 0.5, Delta: 0.3, Epsilon: 1},
+	} {
+		runs, err := RunReleases(w, events, spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if len(runs) != 2 || len(runs[0]) != 10 {
+			t.Fatalf("runs shape wrong")
+		}
+	}
+	if _, err := RunReleases(w, events, ReleaseSpec{Kind: MechanismKind(9), Alpha: 1, Epsilon: 1}); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestBudgetFigSmall(t *testing.T) {
+	cfg := DefaultFig7(tinySynth())
+	cfg.States = [2]int{1, 4}
+	cfg.Windows = [][2]int{{3, 5}}
+	cfg.Epsilons = []float64{0.5, 2}
+	cfg.Alphas = []float64{0.2, 1}
+	a, b, err := BudgetFig("Fig7", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 10 || len(b.Rows) != 10 {
+		t.Fatalf("rows %d/%d", len(a.Rows), len(b.Rows))
+	}
+	if len(a.Columns) != 1+2*2 {
+		t.Fatalf("columns %v", a.Columns)
+	}
+	// Larger eps must not use less budget on average (panel a).
+	avg := func(tab *Table, col int) float64 {
+		var s float64
+		for _, r := range tab.Rows {
+			v, err := strconv.ParseFloat(r[col], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s += v
+		}
+		return s / float64(len(tab.Rows))
+	}
+	if tight, loose := avg(a, 1), avg(a, 3); tight > loose*1.2 {
+		t.Fatalf("eps=0.5 budget %v much above eps=2 budget %v", tight, loose)
+	}
+	if got := a.CSV(); !strings.Contains(got, "eps=0.5 mean") {
+		t.Fatalf("CSV header missing: %q", got[:60])
+	}
+	if got := a.String(); !strings.Contains(got, "== Fig7(a)") {
+		t.Fatalf("text header missing: %q", got[:60])
+	}
+}
+
+func TestBudgetFigDeltaLoc(t *testing.T) {
+	cfg := DefaultFig10(tinySynth())
+	cfg.States = [2]int{1, 4}
+	cfg.Windows = [][2]int{{3, 5}}
+	cfg.Epsilons = []float64{1}
+	cfg.Alphas = []float64{0.5}
+	a, b, err := BudgetFig("Fig10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) == 0 || len(b.Rows) == 0 {
+		t.Fatal("empty tables")
+	}
+}
+
+func TestBudgetFigValidation(t *testing.T) {
+	cfg := DefaultFig7(tinySynth())
+	cfg.States = [2]int{1, 99} // exceeds 16 states
+	if _, _, err := BudgetFig("x", cfg); err == nil {
+		t.Error("oversized event accepted")
+	}
+	cfg = DefaultFig7(tinySynth())
+	cfg.Windows = [][2]int{{4, 99}} // exceeds T=10
+	if _, _, err := BudgetFig("x", cfg); err == nil {
+		t.Error("oversized window accepted")
+	}
+}
+
+func TestFig11Small(t *testing.T) {
+	tab, err := Fig11(tinyGeo(), []float64{0.5, 2}, []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Columns) != 1+2*2 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+}
+
+func TestFig12Small(t *testing.T) {
+	tab, err := Fig12(tinyGeo(), 0.5, []float64{0.3, 0.7}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+}
+
+func TestFig13Small(t *testing.T) {
+	tab, err := Fig13(tinySynth(), []float64{0.1, 10}, 1, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Columns) != 1+2*2 {
+		t.Fatalf("shape wrong: %v", tab.Columns)
+	}
+}
+
+func TestFig14Small(t *testing.T) {
+	cfg := DefaultRuntime(tinySynth())
+	cfg.Lengths = []int{2, 3}
+	cfg.Widths = []int{2, 3}
+	cfg.FixedLength = 2
+	cfg.FixedWidth = 2
+	cfg.Trials = 2
+	lenTab, widTab, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lenTab.Rows) != 2 || len(widTab.Rows) != 2 {
+		t.Fatal("row counts wrong")
+	}
+	// Both methods must have produced timings (baseline affordable here).
+	for _, r := range lenTab.Rows {
+		if r[1] == "-" {
+			t.Fatalf("baseline skipped unexpectedly: %v", r)
+		}
+	}
+}
+
+func TestFig14BaselineCapSkips(t *testing.T) {
+	cfg := DefaultRuntime(tinySynth())
+	cfg.Lengths = []int{6}
+	cfg.FixedWidth = 4
+	cfg.Trials = 1
+	cfg.BaselineCap = 10 // 4^6 = 4096 > 10 → skip
+	lenTab, _, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lenTab.Rows[0][1] != "-" {
+		t.Fatalf("baseline not skipped: %v", lenTab.Rows[0])
+	}
+}
+
+func TestTableIIISmall(t *testing.T) {
+	cfg := DefaultTableIII(tinySynth())
+	cfg.Thresholds = []time.Duration{time.Millisecond, 0}
+	tab, err := TableIII(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	if tab.Rows[1][0] != "none" {
+		t.Fatalf("unlimited row label %q", tab.Rows[1][0])
+	}
+}
+
+func TestAppendixPatternSmall(t *testing.T) {
+	tab, err := AppendixPattern(tinyGeo(), []float64{0.5}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatal("rows wrong")
+	}
+}
+
+func TestUtilityFigValidation(t *testing.T) {
+	if _, err := UtilityFig("x", UtilityFigConfig{Labels: []string{"a"}}); err == nil {
+		t.Error("variant/label mismatch accepted")
+	}
+	if _, err := UtilityFig("x", UtilityFigConfig{}); err == nil {
+		t.Error("nil workload accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Name: "T", Note: "n", Columns: []string{"a", "b"}}
+	tab.AddRow("1")           // short row padded
+	tab.AddRow("2", "3", "4") // long row truncated
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,b\n1,\n2,3\n") {
+		t.Fatalf("csv = %q", csv)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "== T ==") || !strings.Contains(s, "n\n") {
+		t.Fatalf("text = %q", s)
+	}
+}
+
+func TestAblationDecay(t *testing.T) {
+	tab, err := AblationDecay(tinySynth(), []float64{0.25, 0.75}, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// A smaller decay factor must not need more attempts per step.
+	a25, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	a75, _ := strconv.ParseFloat(tab.Rows[1][2], 64)
+	if a25 > a75+0.5 {
+		t.Fatalf("decay=0.25 attempts %v should not exceed decay=0.75 attempts %v", a25, a75)
+	}
+}
+
+func TestAblationModelMismatch(t *testing.T) {
+	tab, err := AblationModelMismatch(tinySynth(), 1, []float64{1, 0.3}, 1, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// The matching model (true sigma == model sigma) must respect epsilon.
+	if tab.Rows[0][3] != "false" {
+		t.Fatalf("matching model exceeded epsilon: %v", tab.Rows[0])
+	}
+}
+
+func TestSecuritySweep(t *testing.T) {
+	tab, err := SecuritySweep(tinySynth(), 2.0, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	shift, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	bound, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	if shift > bound*(1+1e-6) {
+		t.Fatalf("protected odds shift %v exceeds bound %v", shift, bound)
+	}
+	baseShift, _ := strconv.ParseFloat(tab.Rows[0][5], 64)
+	if baseShift <= shift {
+		t.Fatalf("unprotected shift %v should exceed protected %v", baseShift, shift)
+	}
+}

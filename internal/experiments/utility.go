@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"priste/internal/event"
+	"priste/internal/metrics"
+)
+
+// Figs. 11–13: average budget and average Euclidean distance over the
+// whole horizon, swept over ε and a second mechanism parameter.
+
+// UtilityFigConfig parameterises the utility sweeps.
+type UtilityFigConfig struct {
+	// Workload is pre-built so that Geolife and synthetic variants share
+	// the runner.
+	Workload *Workload
+	Windows  [][2]int
+	States   [2]int
+	Epsilons []float64
+	// Variants are the second-dimension series: one ReleaseSpec template
+	// per line of the figure (α values for Fig. 11, δ values for Fig. 12,
+	// one per σ-workload for Fig. 13).
+	Variants  []ReleaseSpec
+	Labels    []string
+	QPTimeout time.Duration
+}
+
+// UtilityFig produces a table with one row per ε and, per variant, the
+// average released budget and average Euclidean distance (user units).
+func UtilityFig(name string, cfg UtilityFigConfig) (*Table, error) {
+	if len(cfg.Variants) != len(cfg.Labels) {
+		return nil, fmt.Errorf("experiments: %d variants but %d labels", len(cfg.Variants), len(cfg.Labels))
+	}
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("experiments: nil workload")
+	}
+	events, err := BudgetFigConfig{States: cfg.States, Windows: cfg.Windows}.events(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"eps"}
+	for _, l := range cfg.Labels {
+		cols = append(cols, l+" budget", l+" dist")
+	}
+	tab := &Table{
+		Name:    name,
+		Note:    fmt.Sprintf("events: %v, runs: %d", eventNames(events), len(cfg.Workload.Trajs)),
+		Columns: cols,
+	}
+	for _, eps := range cfg.Epsilons {
+		row := []string{f3(eps)}
+		for i, v := range cfg.Variants {
+			spec := v
+			spec.Epsilon = eps
+			if spec.QPTimeout == 0 {
+				spec.QPTimeout = cfg.QPTimeout
+			}
+			runs, err := RunReleases(cfg.Workload, events, spec)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s eps=%g: %w", cfg.Labels[i], eps, err)
+			}
+			budget, err := metrics.AvgBudget(runs)
+			if err != nil {
+				return nil, err
+			}
+			dist, err := metrics.AvgEuclid(cfg.Workload.Grid, cfg.Workload.Trajs, runs)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f4(budget.Mean), f4(dist.Mean))
+		}
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}
+
+// Fig11 sweeps PLM budgets on the Geolife-substitute workload
+// (α ∈ {0.5,1,3,5}, ε ∈ {0.1,0.5,1,2} at paper scale).
+func Fig11(geo GeolifeConfig, alphas, epsilons []float64) (*Table, error) {
+	w, err := Geolife(geo)
+	if err != nil {
+		return nil, err
+	}
+	cfg := UtilityFigConfig{
+		Workload: w,
+		Windows:  [][2]int{{4, 8}},
+		States:   [2]int{1, 10},
+		Epsilons: epsilons,
+	}
+	for _, a := range alphas {
+		cfg.Variants = append(cfg.Variants, ReleaseSpec{Kind: PLM, Alpha: a})
+		cfg.Labels = append(cfg.Labels, fmt.Sprintf("%g-PLM", a))
+	}
+	return UtilityFig("Fig11 PRESENCE(S={1:10},T={4:8}) on Geolife-like data", cfg)
+}
+
+// Fig12 sweeps δ for the δ-location-set mechanism on the
+// Geolife-substitute workload (α = 0.5, δ ∈ {0.1,0.3,0.5,0.7},
+// ε ∈ {0.1,1,2,3} at paper scale).
+func Fig12(geo GeolifeConfig, alpha float64, deltas, epsilons []float64) (*Table, error) {
+	w, err := Geolife(geo)
+	if err != nil {
+		return nil, err
+	}
+	cfg := UtilityFigConfig{
+		Workload: w,
+		Windows:  [][2]int{{4, 8}},
+		States:   [2]int{1, 10},
+		Epsilons: epsilons,
+	}
+	for _, d := range deltas {
+		cfg.Variants = append(cfg.Variants, ReleaseSpec{Kind: DeltaLoc, Alpha: alpha, Delta: d})
+		cfg.Labels = append(cfg.Labels, fmt.Sprintf("delta=%g", d))
+	}
+	return UtilityFig(fmt.Sprintf("Fig12 PRESENCE(S={1:10},T={4:8}) on Geolife-like data (%g-PLM, delta-loc-set)", alpha), cfg)
+}
+
+// Fig13 sweeps the transition-pattern strength σ on synthetic workloads
+// (σ ∈ {0.01,0.1,1,10}, 1-PLM, ε ∈ {0.1,0.5,1,2} at paper scale). Each σ
+// is a separate workload, so the runner is driven once per σ and merged.
+func Fig13(synth SyntheticConfig, sigmas []float64, alpha float64, epsilons []float64) (*Table, error) {
+	cols := []string{"eps"}
+	for _, s := range sigmas {
+		cols = append(cols, fmt.Sprintf("sigma=%g budget", s), fmt.Sprintf("sigma=%g dist", s))
+	}
+	tab := &Table{
+		Name:    fmt.Sprintf("Fig13 PRESENCE(S={1:10},T={4:8}) on synthetic data (%g-PLM), varying sigma", alpha),
+		Columns: cols,
+	}
+	type cell struct{ budget, dist float64 }
+	results := make(map[float64]map[float64]cell) // sigma -> eps -> cell
+	for _, sigma := range sigmas {
+		sc := synth
+		sc.Sigma = sigma
+		w, err := Synthetic(sc)
+		if err != nil {
+			return nil, err
+		}
+		events, err := BudgetFigConfig{States: [2]int{1, 10}, Windows: [][2]int{{4, 8}}}.events(w)
+		if err != nil {
+			return nil, err
+		}
+		results[sigma] = make(map[float64]cell)
+		for _, eps := range epsilons {
+			runs, err := RunReleases(w, events, ReleaseSpec{Kind: PLM, Alpha: alpha, Epsilon: eps})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sigma=%g eps=%g: %w", sigma, eps, err)
+			}
+			budget, err := metrics.AvgBudget(runs)
+			if err != nil {
+				return nil, err
+			}
+			dist, err := metrics.AvgEuclid(w.Grid, w.Trajs, runs)
+			if err != nil {
+				return nil, err
+			}
+			results[sigma][eps] = cell{budget.Mean, dist.Mean}
+		}
+	}
+	for _, eps := range epsilons {
+		row := []string{f3(eps)}
+		for _, sigma := range sigmas {
+			c := results[sigma][eps]
+			row = append(row, f4(c.budget), f4(c.dist))
+		}
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}
+
+// AppendixPattern mirrors Fig. 11 for a PATTERN event (the paper defers
+// PATTERN utility results to its appendices): a two-step pattern through
+// the event region.
+func AppendixPattern(geo GeolifeConfig, alphas, epsilons []float64) (*Table, error) {
+	w, err := Geolife(geo)
+	if err != nil {
+		return nil, err
+	}
+	m := w.Grid.States()
+	ev, err := PatternRange(m, [][2]int{{1, 10}, {1, 10}}, 4)
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"eps"}
+	for _, a := range alphas {
+		cols = append(cols, fmt.Sprintf("%g-PLM budget", a), fmt.Sprintf("%g-PLM dist", a))
+	}
+	tab := &Table{
+		Name:    "Appendix PATTERN(S={1:10}x2, T={4:5}) on Geolife-like data",
+		Note:    fmt.Sprintf("event: %v, runs: %d", ev, len(w.Trajs)),
+		Columns: cols,
+	}
+	for _, eps := range epsilons {
+		row := []string{f3(eps)}
+		for _, a := range alphas {
+			runs, err := RunReleases(w, []event.Event{ev}, ReleaseSpec{Kind: PLM, Alpha: a, Epsilon: eps})
+			if err != nil {
+				return nil, err
+			}
+			budget, err := metrics.AvgBudget(runs)
+			if err != nil {
+				return nil, err
+			}
+			dist, err := metrics.AvgEuclid(w.Grid, w.Trajs, runs)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f4(budget.Mean), f4(dist.Mean))
+		}
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}

@@ -1,0 +1,167 @@
+package geolife
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+const samplePLT = `Geolife trajectory
+WGS 84
+Altitude is in Feet
+Reserved 3
+0,2,255,My Track,0,0,2,8421376
+0
+39.906631,116.385564,0,492,39745.1200347222,2008-10-24,02:52:51
+39.906554,116.385625,0,492,39745.1200462963,2008-10-24,02:52:52
+39.906600,116.385700,0,492,39745.1200578704,2008-10-24,02:52:53
+39.906700,116.385800,0,492,39745.1200694444,2008-10-24,02:52:54
+`
+
+func TestParsePLT(t *testing.T) {
+	pts, err := ParsePLT(strings.NewReader(samplePLT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("parsed %d points", len(pts))
+	}
+	if math.Abs(pts[0].Lat-39.906631) > 1e-9 || math.Abs(pts[0].Lng-116.385564) > 1e-9 {
+		t.Fatalf("first point = %+v", pts[0])
+	}
+	if pts[0].Time.Hour() != 2 || pts[0].Time.Second() != 51 {
+		t.Fatalf("timestamp = %v", pts[0].Time)
+	}
+}
+
+func TestParsePLTErrors(t *testing.T) {
+	// Malformed data past the header must error, not be skipped.
+	bad := samplePLT + "garbage line\n"
+	if _, err := ParsePLT(strings.NewReader(bad)); err == nil {
+		t.Error("garbage record accepted")
+	}
+	bad2 := samplePLT + "91.0,116.0,0,1,1,2008-10-24,02:52:55\n"
+	if _, err := ParsePLT(strings.NewReader(bad2)); err == nil {
+		t.Error("out-of-range latitude accepted")
+	}
+	bad3 := samplePLT + "39.0,116.0,0,1,1,2008-13-45,02:52:55\n"
+	if _, err := ParsePLT(strings.NewReader(bad3)); err == nil {
+		t.Error("bad date accepted")
+	}
+}
+
+func TestProjector(t *testing.T) {
+	p, err := NewProjector(39.9, 116.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One degree of latitude ≈ 111.2 km.
+	_, y := p.ToKm(40.9, 116.4)
+	if math.Abs(y-111.19) > 0.5 {
+		t.Fatalf("1° latitude = %v km", y)
+	}
+	// Longitude is compressed by cos(lat) ≈ 0.767 at 39.9°N.
+	x, _ := p.ToKm(39.9, 117.4)
+	if math.Abs(x-111.19*math.Cos(39.9*math.Pi/180)) > 0.5 {
+		t.Fatalf("1° longitude = %v km", x)
+	}
+	if _, err := NewProjector(100, 0); err == nil {
+		t.Error("invalid reference accepted")
+	}
+}
+
+func buildPoints(n int, stepSec int, latStep float64) []PLTPoint {
+	base := time.Date(2008, 10, 24, 2, 0, 0, 0, time.UTC)
+	pts := make([]PLTPoint, n)
+	for i := range pts {
+		pts[i] = PLTPoint{
+			Lat:  39.9 + latStep*float64(i),
+			Lng:  116.4,
+			Time: base.Add(time.Duration(i*stepSec) * time.Second),
+		}
+	}
+	return pts
+}
+
+func TestResample(t *testing.T) {
+	// 100 points at 1 s spacing, resampled at 10 s → 10 samples.
+	pts := buildPoints(100, 1, 0.0001)
+	trajs, proj, err := Resample(pts, ResampleOptions{Interval: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj == nil {
+		t.Fatal("nil projector")
+	}
+	if len(trajs) != 1 {
+		t.Fatalf("got %d trajectories", len(trajs))
+	}
+	if len(trajs[0]) != 10 {
+		t.Fatalf("got %d samples", len(trajs[0]))
+	}
+	for i, p := range trajs[0] {
+		if p.T != i {
+			t.Fatalf("sample %d has T=%d", i, p.T)
+		}
+	}
+}
+
+func TestResampleGapSplits(t *testing.T) {
+	pts := buildPoints(50, 1, 0.0001)
+	// Insert a 10-minute gap.
+	for i := 25; i < 50; i++ {
+		pts[i].Time = pts[i].Time.Add(10 * time.Minute)
+	}
+	trajs, _, err := Resample(pts, ResampleOptions{Interval: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trajs) != 2 {
+		t.Fatalf("gap did not split: %d trajectories", len(trajs))
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, _, err := Resample(nil, ResampleOptions{Interval: time.Second}); err == nil {
+		t.Error("empty input accepted")
+	}
+	pts := buildPoints(10, 1, 0.0001)
+	if _, _, err := Resample(pts, ResampleOptions{}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	// Non-monotone timestamps.
+	pts[5].Time = pts[0].Time.Add(-time.Hour)
+	if _, _, err := Resample(pts, ResampleOptions{Interval: time.Second}); err == nil {
+		t.Error("non-monotone timestamps accepted")
+	}
+}
+
+func TestDiscretizeAllAndTrainPipeline(t *testing.T) {
+	// A back-and-forth walk spanning ~5 km of latitude.
+	pts := buildPoints(600, 5, 0.00008)
+	trajs, _, err := Resample(pts, ResampleOptions{Interval: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, g, err := DiscretizeAll(trajs, 1.0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.States() == 0 || len(states) != len(trajs) {
+		t.Fatalf("grid %d states, %d trajectories", g.States(), len(states))
+	}
+	for _, tr := range states {
+		for _, s := range tr {
+			if s < 0 || s >= g.States() {
+				t.Fatalf("state %d outside grid", s)
+			}
+		}
+	}
+	if _, _, err := DiscretizeAll(nil, 1, 16); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := DiscretizeAll(trajs, -1, 16); err == nil {
+		t.Error("negative cell accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Package lppm implements the location-privacy-preserving mechanisms the
+// paper builds on: the planar Laplace mechanism of Geo-indistinguishability
+// [Andrés et al., CCS 2013] discretised to a grid map (§IV-C), the
+// δ-location-set mechanism of [Xiao & Xiong, CCS 2015] (§IV-D), and simple
+// uniform/identity baselines. An LPPM is modelled, as in §II-A, as an
+// emission matrix taking the user's true location as input and producing a
+// perturbed location.
+package lppm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"priste/internal/mat"
+)
+
+// Perturber is the stateful mechanism interface the PriSTE release loop
+// drives. A timestamp proceeds as: Begin(t); one or more Emission(alpha)
+// calls as the framework calibrates the budget; Observe(t, obs) once a
+// perturbed location is released.
+type Perturber interface {
+	// States returns the size m of the location domain.
+	States() int
+	// Begin prepares the mechanism for timestamp t (e.g. the δ-location
+	// set advances its Markov prior). Timestamps must be visited in
+	// order starting from 0.
+	Begin(t int) error
+	// Emission returns the row-stochastic emission matrix in effect at
+	// the current timestamp for privacy budget alpha. The matrix is owned
+	// by the mechanism and must not be mutated; it remains valid until
+	// the next Emission or Begin call.
+	Emission(alpha float64) (*mat.Matrix, error)
+	// Observe commits the released observation for the current timestamp
+	// (posterior update for stateful mechanisms). col is the emission
+	// column actually used for the release — col[i] = Pr(obs | u = s_i) —
+	// which may come from a different matrix than the last Emission call
+	// (the PriSTE framework falls back to a uniform release when the
+	// budget underflows).
+	Observe(t, obs int, col mat.Vector) error
+}
+
+// SampleRow draws an observation from row u of an emission matrix.
+func SampleRow(rng *rand.Rand, e *mat.Matrix, u int) (int, error) {
+	if u < 0 || u >= e.Rows {
+		return 0, fmt.Errorf("lppm: state %d outside [0,%d)", u, e.Rows)
+	}
+	row := e.Row(u)
+	x := rng.Float64()
+	var acc float64
+	for j, p := range row {
+		acc += p
+		if x < acc {
+			return j, nil
+		}
+	}
+	for j := e.Cols - 1; j >= 0; j-- {
+		if row[j] > 0 {
+			return j, nil
+		}
+	}
+	return 0, fmt.Errorf("lppm: emission row %d sums to zero", u)
+}
+
+// Uniform is the fully-uninformative mechanism: every row is uniform over
+// the map regardless of budget. It is the α→0 limit the paper's
+// convergence argument (§IV-C) relies on.
+type Uniform struct {
+	m int
+	e *mat.Matrix
+}
+
+// NewUniform returns a uniform mechanism over m states.
+func NewUniform(m int) (*Uniform, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("lppm: m must be positive")
+	}
+	e := mat.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		row := e.Row(i)
+		for j := range row {
+			row[j] = 1 / float64(m)
+		}
+	}
+	return &Uniform{m: m, e: e}, nil
+}
+
+// States implements Perturber.
+func (u *Uniform) States() int { return u.m }
+
+// Begin implements Perturber.
+func (u *Uniform) Begin(int) error { return nil }
+
+// Emission implements Perturber.
+func (u *Uniform) Emission(float64) (*mat.Matrix, error) { return u.e, nil }
+
+// Observe implements Perturber.
+func (u *Uniform) Observe(int, int, mat.Vector) error { return nil }
+
+// Identity is the no-privacy mechanism: the true location is released
+// verbatim. Useful as the upper baseline in utility experiments and as a
+// worst case in privacy tests.
+type Identity struct {
+	m int
+	e *mat.Matrix
+}
+
+// NewIdentity returns an identity mechanism over m states.
+func NewIdentity(m int) (*Identity, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("lppm: m must be positive")
+	}
+	return &Identity{m: m, e: mat.Identity(m)}, nil
+}
+
+// States implements Perturber.
+func (id *Identity) States() int { return id.m }
+
+// Begin implements Perturber.
+func (id *Identity) Begin(int) error { return nil }
+
+// Emission implements Perturber.
+func (id *Identity) Emission(float64) (*mat.Matrix, error) { return id.e, nil }
+
+// Observe implements Perturber.
+func (id *Identity) Observe(int, int, mat.Vector) error { return nil }
+
+// clampFinite validates a strictly-positive finite parameter.
+func clampFinite(name string, v float64) error {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("lppm: %s must be positive and finite, got %g", name, v)
+	}
+	return nil
+}

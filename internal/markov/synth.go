@@ -1,0 +1,86 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"priste/internal/grid"
+	"priste/internal/mat"
+)
+
+// GaussianChain builds the synthetic mobility model of §V-A: on a grid map,
+// the transition probability from one cell to another is proportional to a
+// two-dimensional Gaussian kernel with scale parameter sigma centred on the
+// current cell:
+//
+//	Pr(u_{t+1}=j | u_t=i) ∝ exp(−d(i,j)² / (2σ²))
+//
+// A small sigma concentrates mass on adjacent cells — a "significant"
+// mobility pattern — while a large sigma approaches the uniform chain.
+// Distances are in the grid's user units.
+func GaussianChain(g *grid.Grid, sigma float64) (*Chain, error) {
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("markov: sigma must be positive and finite, got %g", sigma)
+	}
+	m := g.States()
+	t := mat.NewMatrix(m, m)
+	inv := 1 / (2 * sigma * sigma)
+	for i := 0; i < m; i++ {
+		row := t.Row(i)
+		for j := 0; j < m; j++ {
+			d := g.Dist(i, j)
+			row[j] = math.Exp(-d * d * inv)
+		}
+		row.Normalize()
+	}
+	return NewChain(t)
+}
+
+// LazyRandomWalk returns a chain that stays put with probability stay and
+// otherwise moves to a uniformly chosen 4-neighbour (reflecting at map
+// edges). A simple, strongly-local baseline mobility model used in tests
+// and examples.
+func LazyRandomWalk(g *grid.Grid, stay float64) (*Chain, error) {
+	if stay < 0 || stay > 1 || math.IsNaN(stay) {
+		return nil, fmt.Errorf("markov: stay probability %g outside [0,1]", stay)
+	}
+	m := g.States()
+	t := mat.NewMatrix(m, m)
+	for s := 0; s < m; s++ {
+		x, y := g.XY(s)
+		var nbrs []int
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if g.Contains(nx, ny) {
+				nbrs = append(nbrs, g.State(nx, ny))
+			}
+		}
+		row := t.Row(s)
+		row[s] = stay
+		if len(nbrs) == 0 {
+			row[s] = 1
+			continue
+		}
+		p := (1 - stay) / float64(len(nbrs))
+		for _, n := range nbrs {
+			row[n] += p
+		}
+	}
+	return NewChain(t)
+}
+
+// UniformChain returns the chain whose every row is uniform; the weakest
+// possible mobility pattern.
+func UniformChain(m int) (*Chain, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("markov: m must be positive")
+	}
+	t := mat.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		row := t.Row(i)
+		for j := range row {
+			row[j] = 1 / float64(m)
+		}
+	}
+	return NewChain(t)
+}

@@ -1,0 +1,383 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorSumMinMax(t *testing.T) {
+	v := Vector{3, -1, 2}
+	if v.Sum() != 4 {
+		t.Errorf("Sum = %v", v.Sum())
+	}
+	if v.Max() != 3 {
+		t.Errorf("Max = %v", v.Max())
+	}
+	if v.Min() != -1 {
+		t.Errorf("Min = %v", v.Min())
+	}
+	if v.AbsMax() != 3 {
+		t.Errorf("AbsMax = %v", v.AbsMax())
+	}
+	if v.ArgMax() != 0 {
+		t.Errorf("ArgMax = %v", v.ArgMax())
+	}
+}
+
+func TestVectorEmptyExtremes(t *testing.T) {
+	var v Vector
+	if !math.IsInf(v.Max(), -1) || !math.IsInf(v.Min(), 1) {
+		t.Errorf("empty Max/Min = %v/%v", v.Max(), v.Min())
+	}
+	if v.ArgMax() != -1 {
+		t.Errorf("empty ArgMax = %d", v.ArgMax())
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{1, 3}
+	s := v.Normalize()
+	if s != 4 {
+		t.Fatalf("Normalize returned %v, want 4", s)
+	}
+	if !v.EqualApprox(Vector{0.25, 0.75}, 1e-15) {
+		t.Fatalf("normalized = %v", v)
+	}
+}
+
+func TestVectorNormalizeZero(t *testing.T) {
+	v := Vector{0, 0}
+	if s := v.Normalize(); s != 0 {
+		t.Fatalf("Normalize(zero) = %v, want 0", s)
+	}
+	if v[0] != 0 || v[1] != 0 {
+		t.Fatalf("zero vector mutated: %v", v)
+	}
+}
+
+func TestVectorHadamard(t *testing.T) {
+	got := Vector{1, 2, 3}.Hadamard(Vector{2, 0, -1})
+	if !got.EqualApprox(Vector{2, 0, -3}, 0) {
+		t.Fatalf("Hadamard = %v", got)
+	}
+}
+
+func TestVectorAddSubInPlaceAliasing(t *testing.T) {
+	v := Vector{1, 2}
+	v.AddInto(v, Vector{3, 4})
+	if !v.EqualApprox(Vector{4, 6}, 0) {
+		t.Fatalf("AddInto alias = %v", v)
+	}
+	v.SubInto(v, Vector{1, 1})
+	if !v.EqualApprox(Vector{3, 5}, 0) {
+		t.Fatalf("SubInto alias = %v", v)
+	}
+}
+
+func TestIsDistribution(t *testing.T) {
+	if !(Vector{0.5, 0.5}).IsDistribution(1e-9) {
+		t.Error("uniform should be a distribution")
+	}
+	if (Vector{0.5, 0.6}).IsDistribution(1e-9) {
+		t.Error("sum 1.1 should fail")
+	}
+	if (Vector{-0.1, 1.1}).IsDistribution(1e-9) {
+		t.Error("negative element should fail")
+	}
+	if (Vector{math.NaN(), 1}).IsDistribution(1e-9) {
+		t.Error("NaN should fail")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v", m.At(1, 0))
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatalf("after Set, At = %v", m.At(1, 0))
+	}
+	if got := m.Col(1); !got.EqualApprox(Vector{2, 4}, 0) {
+		t.Fatalf("Col(1) = %v", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityAndMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	i2 := Identity(2)
+	if !a.Mul(i2).EqualApprox(a, 0) {
+		t.Fatal("A·I != A")
+	}
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatalf("Mul = \n%v want \n%v", got, want)
+	}
+}
+
+func TestMulRectangular(t *testing.T) {
+	a := FromRows([][]float64{{1, 0, 2}})     // 1×3
+	b := FromRows([][]float64{{1}, {1}, {1}}) // 3×1
+	if got := a.Mul(b); got.At(0, 0) != 3 || got.Rows != 1 || got.Cols != 1 {
+		t.Fatalf("Mul rect = %v", got)
+	}
+}
+
+func TestMulIntoAliasPanics(t *testing.T) {
+	a := Identity(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when dst aliases operand")
+		}
+	}()
+	MulInto(a, a, Identity(2))
+}
+
+func TestMulVecAndVecMul(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := m.MulVec(Vector{1, 1}); !got.EqualApprox(Vector{3, 7}, 0) {
+		t.Fatalf("MulVec = %v", got)
+	}
+	if got := m.VecMul(Vector{1, 1}); !got.EqualApprox(Vector{4, 6}, 0) {
+		t.Fatalf("VecMul = %v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := m.Transpose()
+	want := FromRows([][]float64{{1, 4}, {2, 5}, {3, 6}})
+	if !got.EqualApprox(want, 0) {
+		t.Fatalf("Transpose = \n%v", got)
+	}
+}
+
+func TestScaleRowsCols(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	sc := ScaleColsInto(NewMatrix(2, 2), m, Vector{10, 1})
+	if !sc.EqualApprox(FromRows([][]float64{{10, 2}, {30, 4}}), 0) {
+		t.Fatalf("ScaleCols = \n%v", sc)
+	}
+	sr := ScaleRowsInto(NewMatrix(2, 2), m, Vector{10, 1})
+	if !sr.EqualApprox(FromRows([][]float64{{10, 20}, {3, 4}}), 0) {
+		t.Fatalf("ScaleRows = \n%v", sr)
+	}
+	// Aliased in-place form.
+	ScaleColsInto(m, m, Vector{1, 0})
+	if !m.EqualApprox(FromRows([][]float64{{1, 0}, {3, 0}}), 0) {
+		t.Fatalf("ScaleCols alias = \n%v", m)
+	}
+}
+
+func TestAddSubOuter(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := Identity(2)
+	sum := AddInto(NewMatrix(2, 2), a, b)
+	if !sum.EqualApprox(FromRows([][]float64{{2, 2}, {3, 5}}), 0) {
+		t.Fatalf("Add = \n%v", sum)
+	}
+	diff := SubInto(NewMatrix(2, 2), sum, b)
+	if !diff.EqualApprox(a, 0) {
+		t.Fatalf("Sub = \n%v", diff)
+	}
+	o := Outer(Vector{1, 2}, Vector{3, 4})
+	if !o.EqualApprox(FromRows([][]float64{{3, 4}, {6, 8}}), 0) {
+		t.Fatalf("Outer = \n%v", o)
+	}
+}
+
+func TestIsRowStochastic(t *testing.T) {
+	m := FromRows([][]float64{{0.5, 0.5}, {0.1, 0.9}})
+	if !m.IsRowStochastic(1e-12) {
+		t.Fatal("expected stochastic")
+	}
+	m.Set(0, 0, 0.6)
+	if m.IsRowStochastic(1e-12) {
+		t.Fatal("expected non-stochastic")
+	}
+}
+
+// Property: (A·B)·x == A·(B·x) for random stochastic-ish matrices.
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a, b := randomMatrix(rng, n), randomMatrix(rng, n)
+		x := randomVector(rng, n)
+		left := a.Mul(b).MulVec(x)
+		right := a.MulVec(b.MulVec(x))
+		return left.EqualApprox(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: VecMul(x, M) == Transpose(M)·x.
+func TestVecMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := randomMatrix(rng, n)
+		x := randomVector(rng, n)
+		return m.VecMul(x).EqualApprox(m.Transpose().MulVec(x), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ScaleCols(A, d)·x == A·(d∘x).
+func TestScaleColsDiagonalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomMatrix(rng, n)
+		d, x := randomVector(rng, n), randomVector(rng, n)
+		left := ScaleColsInto(NewMatrix(n, n), a, d).MulVec(x)
+		right := a.MulVec(d.Hadamard(x))
+		return left.EqualApprox(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, -1}})
+	vals, vecs, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.EqualApprox(Vector{-1, 3}, 1e-12) {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Eigenvector columns orthonormal.
+	for j := 0; j < 2; j++ {
+		if math.Abs(vecs.Col(j).Dot(vecs.Col(j))-1) > 1e-12 {
+			t.Fatalf("column %d not unit", j)
+		}
+	}
+}
+
+func TestSymEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, _, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.EqualApprox(Vector{1, 3}, 1e-10) {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	m := FromRows([][]float64{{0, 1}, {0, 0}})
+	if _, _, err := SymEigen(m); err == nil {
+		t.Fatal("expected error for asymmetric input")
+	}
+}
+
+// Property: SymEigen reconstructs A = V·diag(λ)·Vᵀ.
+func TestSymEigenReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randomMatrix(rng, n)
+		// Symmetrize.
+		at := a.Transpose()
+		AddInto(a, a, at)
+		a.Scale(0.5)
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		recon := NewMatrix(n, n)
+		for k := 0; k < n; k++ {
+			col := vecs.Col(k)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					recon.Data[i*n+j] += vals[k] * col[i] * col[j]
+				}
+			}
+		}
+		return recon.EqualApprox(a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RankOneSymEigen matches SymEigen extremes of (a·wᵀ+w·aᵀ)/2.
+func TestRankOneSymEigenProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a, w := randomVector(rng, n), randomVector(rng, n)
+		lo, hi := RankOneSymEigen(a, w)
+		s := Outer(a, w)
+		st := s.Transpose()
+		AddInto(s, s, st)
+		s.Scale(0.5)
+		vals, _, err := SymEigen(s)
+		if err != nil {
+			return false
+		}
+		return math.Abs(vals[0]-lo) < 1e-8 && math.Abs(vals[len(vals)-1]-hi) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randomVector(rng *rand.Rand, n int) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

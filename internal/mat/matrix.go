@@ -1,0 +1,361 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(r), c))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	v := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		v[i] = m.Data[i*m.Cols+j]
+	}
+	return v
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	n := NewMatrix(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("mat: CopyFrom shape %d×%d vs %d×%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element to 0 and returns m.
+func (m *Matrix) Zero() *Matrix {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// Scale multiplies every element by c in place and returns m.
+func (m *Matrix) Scale(c float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= c
+	}
+	return m
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MulVec returns m·x (treating x as a column vector).
+func (m *Matrix) MulVec(x Vector) Vector {
+	return m.MulVecInto(NewVector(m.Rows), x)
+}
+
+// MulVecInto stores m·x into dst and returns dst. dst must not alias x.
+func (m *Matrix) MulVecInto(dst, x Vector) Vector {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec len(x)=%d want %d", len(x), m.Cols))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVec len(dst)=%d want %d", len(dst), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Dot(x)
+	}
+	return dst
+}
+
+// VecMul returns xᵀ·m as a row vector (length m.Cols).
+func (m *Matrix) VecMul(x Vector) Vector {
+	return m.VecMulInto(NewVector(m.Cols), x)
+}
+
+// VecMulInto stores xᵀ·m into dst and returns dst. dst must not alias x.
+func (m *Matrix) VecMulInto(dst, x Vector) Vector {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("mat: VecMul len(x)=%d want %d", len(x), m.Rows))
+	}
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: VecMul len(dst)=%d want %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+	return dst
+}
+
+// Mul returns m·n as a new matrix using the blocked kernel.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	out := NewMatrix(m.Rows, n.Cols)
+	MulInto(out, m, n)
+	return out
+}
+
+// MulInto computes dst = a·b. dst must not alias a or b and must have shape
+// a.Rows × b.Cols. The kernel is an i-k-j loop which is cache-friendly for
+// row-major storage; products large enough to matter (the 400-state maps
+// of the paper's experiments) are split row-wise across CPUs.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Mul dst %d×%d want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if sameBacking(dst.Data, a.Data) || sameBacking(dst.Data, b.Data) {
+		panic("mat: MulInto dst aliases an operand")
+	}
+	// ~2·10⁷ multiply-adds amortise goroutine start-up comfortably.
+	const parallelFlops = 1 << 24
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && a.Rows > 1 && int64(a.Rows)*int64(a.Cols)*int64(b.Cols) >= parallelFlops {
+		if workers > a.Rows {
+			workers = a.Rows
+		}
+		var wg sync.WaitGroup
+		chunk := (a.Rows + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > a.Rows {
+				hi = a.Rows
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				mulRows(dst, a, b, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	mulRows(dst, a, b, 0, a.Rows)
+}
+
+// mulRows computes rows [lo,hi) of dst = a·b.
+func mulRows(dst, a, b *Matrix, lo, hi int) {
+	bc := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*bc : (i+1)*bc]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*bc : (k+1)*bc]
+			for j, bkj := range brow {
+				drow[j] += aik * bkj
+			}
+		}
+	}
+}
+
+func sameBacking(a, b []float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// ScaleColsInto stores a·diag(d) into dst (column j scaled by d[j]) and
+// returns dst. dst may alias a.
+func ScaleColsInto(dst, a *Matrix, d Vector) *Matrix {
+	if len(d) != a.Cols {
+		panic(fmt.Sprintf("mat: ScaleCols len(d)=%d want %d", len(d), a.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("mat: ScaleCols dst shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		src := a.Data[i*a.Cols : (i+1)*a.Cols]
+		out := dst.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range src {
+			out[j] = v * d[j]
+		}
+	}
+	return dst
+}
+
+// ScaleRowsInto stores diag(d)·a into dst (row i scaled by d[i]) and returns
+// dst. dst may alias a.
+func ScaleRowsInto(dst, a *Matrix, d Vector) *Matrix {
+	if len(d) != a.Rows {
+		panic(fmt.Sprintf("mat: ScaleRows len(d)=%d want %d", len(d), a.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("mat: ScaleRows dst shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		src := a.Data[i*a.Cols : (i+1)*a.Cols]
+		out := dst.Data[i*a.Cols : (i+1)*a.Cols]
+		di := d[i]
+		for j, v := range src {
+			out[j] = v * di
+		}
+	}
+	return dst
+}
+
+// AddInto stores a+b into dst and returns dst; dst may alias a or b.
+func AddInto(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("mat: AddInto shape mismatch")
+	}
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return dst
+}
+
+// SubInto stores a-b into dst and returns dst; dst may alias a or b.
+func SubInto(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("mat: SubInto shape mismatch")
+	}
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return dst
+}
+
+// Outer returns the outer product a·bᵀ as a len(a)×len(b) matrix.
+func Outer(a, b Vector) *Matrix {
+	m := NewMatrix(len(a), len(b))
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, bj := range b {
+			row[j] = ai * bj
+		}
+	}
+	return m
+}
+
+// MaxAbs returns the largest absolute element of m (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	var best float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// EqualApprox reports whether m and n share a shape and agree elementwise
+// within tol.
+func (m *Matrix) EqualApprox(n *Matrix, tol float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRowStochastic reports whether every row of m is a probability
+// distribution within tol.
+func (m *Matrix) IsRowStochastic(tol float64) bool {
+	for i := 0; i < m.Rows; i++ {
+		if !m.Row(i).IsDistribution(tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging and test failure messages.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%.6g", m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

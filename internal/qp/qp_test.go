@@ -1,0 +1,459 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"priste/internal/mat"
+)
+
+// bruteMax approximates the true simplex maximum by enumerating all
+// compositions of `steps` into n parts (a dense grid on the simplex).
+func bruteMax(p Problem, steps int) float64 {
+	n := len(p.A)
+	pi := make(mat.Vector, n)
+	best := math.Inf(-1)
+	var rec func(i, left int)
+	rec = func(i, left int) {
+		if i == n-1 {
+			pi[i] = float64(left) / float64(steps)
+			if v := p.Eval(pi); v > best {
+				best = v
+			}
+			return
+		}
+		for k := 0; k <= left; k++ {
+			pi[i] = float64(k) / float64(steps)
+			rec(i+1, left-k)
+		}
+	}
+	rec(0, steps)
+	return best
+}
+
+func solveOK(t *testing.T, p Problem, opt Options) Result {
+	t.Helper()
+	r, err := Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Problem{}).Validate(); err == nil {
+		t.Error("empty problem accepted")
+	}
+	if err := (Problem{A: mat.Vector{1}, W: mat.Vector{1, 2}, Q: mat.Vector{1}}).Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := (Problem{A: mat.Vector{-1}, W: mat.Vector{1}, Q: mat.Vector{1}}).Validate(); err == nil {
+		t.Error("negative A accepted")
+	}
+	if err := (Problem{A: mat.Vector{1}, W: mat.Vector{math.NaN()}, Q: mat.Vector{1}}).Validate(); err == nil {
+		t.Error("NaN W accepted")
+	}
+	if err := (Problem{A: mat.Vector{1}, W: mat.Vector{1}, Q: mat.Vector{1}}).Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+}
+
+func TestSolveAllNegativeIsSatisfied(t *testing.T) {
+	// g = (πa)(πw) + qπ with w, q ≤ 0 and a ≥ 0: max is 0 at π = 0.
+	p := Problem{
+		A: mat.Vector{0.5, 0.3, 0.8},
+		W: mat.Vector{-1, -2, -0.5},
+		Q: mat.Vector{-0.1, 0, -0.3},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Verdict != Satisfied {
+		t.Fatalf("verdict = %v, upper = %v", r.Verdict, r.Upper)
+	}
+	if r.Upper > 1e-9 {
+		t.Fatalf("upper = %v", r.Upper)
+	}
+}
+
+func TestSolvePositiveLinearIsViolated(t *testing.T) {
+	p := Problem{
+		A: mat.Vector{0.1, 0.1},
+		W: mat.Vector{0, 0},
+		Q: mat.Vector{1, 0},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Verdict != Violated {
+		t.Fatalf("verdict = %v", r.Verdict)
+	}
+	if r.Lower < 1-1e-9 {
+		t.Fatalf("lower = %v, want ≥ 1", r.Lower)
+	}
+	if p.Eval(r.BestPi) != r.Lower {
+		t.Fatalf("BestPi does not reproduce Lower")
+	}
+}
+
+func TestSolveQuadraticViolation(t *testing.T) {
+	// (πa)(πw) with a = w = 1: value is identically 1 on the simplex.
+	p := Problem{
+		A: mat.Vector{1, 1},
+		W: mat.Vector{1, 1},
+		Q: mat.Vector{0, 0},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Verdict != Violated {
+		t.Fatalf("verdict = %v", r.Verdict)
+	}
+	if math.Abs(r.Lower-1) > 1e-6 {
+		t.Fatalf("max = %v, want 1", r.Lower)
+	}
+}
+
+func TestSolveIndefiniteInterior(t *testing.T) {
+	// Mixed-sign w: the max may be interior in the s dimension.
+	p := Problem{
+		A: mat.Vector{1, 0.5, 0.2},
+		W: mat.Vector{2, -3, 1},
+		Q: mat.Vector{-0.2, 0.4, -0.1},
+	}
+	r := solveOK(t, p, Options{MaxNodes: 20000})
+	want := bruteMax(p, 60)
+	if r.Upper < want-1e-6 {
+		t.Fatalf("upper %v below brute-force max %v", r.Upper, want)
+	}
+	if r.Lower < want-0.02 {
+		t.Fatalf("lower %v misses brute-force max %v", r.Lower, want)
+	}
+	if r.Verdict != Violated && want > 1e-6 {
+		t.Fatalf("verdict = %v with positive max %v", r.Verdict, want)
+	}
+}
+
+func TestSolveSatisfiedGapCloses(t *testing.T) {
+	// A strictly-negative instance: the solver must close the gap and
+	// certify satisfaction, not stop at Unknown.
+	p := Problem{
+		A: mat.Vector{1, 0.5, 0.2},
+		W: mat.Vector{2, -3, 1},
+		Q: mat.Vector{-3, -3, -3},
+	}
+	r := solveOK(t, p, Options{MaxNodes: 20000})
+	if r.Verdict != Satisfied {
+		t.Fatalf("verdict = %v bounds [%v,%v]", r.Verdict, r.Lower, r.Upper)
+	}
+	want := bruteMax(p, 60)
+	if r.Upper < want-1e-6 {
+		t.Fatalf("upper %v below brute max %v", r.Upper, want)
+	}
+}
+
+func TestSolveBoundsSandwichBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		p := Problem{A: make(mat.Vector, n), W: make(mat.Vector, n), Q: make(mat.Vector, n)}
+		for i := 0; i < n; i++ {
+			p.A[i] = rng.Float64()
+			p.W[i] = rng.NormFloat64()
+			p.Q[i] = rng.NormFloat64() * 0.5
+		}
+		r, err := Solve(p, Options{MaxNodes: 5000})
+		if err != nil {
+			return false
+		}
+		grid := bruteMax(p, 30)
+		// Certified upper bound must dominate the grid estimate; the lower
+		// bound must be attainable (checked by re-evaluating BestPi).
+		if r.Upper < grid-1e-7 {
+			return false
+		}
+		if r.BestPi != nil && math.Abs(p.Eval(r.BestPi)-r.Lower) > 1e-9 {
+			return false
+		}
+		return r.Lower <= r.Upper+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveDeadlineReturnsQuickly(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 200
+	p := Problem{A: make(mat.Vector, n), W: make(mat.Vector, n), Q: make(mat.Vector, n)}
+	for i := 0; i < n; i++ {
+		p.A[i] = rng.Float64()
+		p.W[i] = rng.NormFloat64()
+		p.Q[i] = rng.NormFloat64()
+	}
+	start := time.Now()
+	r := solveOK(t, p, Options{Deadline: time.Millisecond, MaxNodes: 1 << 30})
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("solver ignored deadline, took %v", e)
+	}
+	if r.Lower > r.Upper {
+		t.Fatalf("bounds inverted: [%v, %v]", r.Lower, r.Upper)
+	}
+}
+
+func TestSolveZeroAIsLinear(t *testing.T) {
+	p := Problem{
+		A: mat.Vector{0, 0},
+		W: mat.Vector{5, -5},
+		Q: mat.Vector{-1, 2},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Verdict != Violated || math.Abs(r.Lower-2) > 1e-9 {
+		t.Fatalf("lower = %v verdict %v, want 2 violated", r.Lower, r.Verdict)
+	}
+}
+
+func TestSimplexLPBasic(t *testing.T) {
+	c := mat.Vector{3, 2, -1}
+	a := mat.Vector{0.2, 0.5, 0.9}
+	// Unconstrained simplex optimum is the best vertex: e_0 with value 3,
+	// feasible when its a (0.2) lies in the interval.
+	v, pi, ok := simplexLP(c, a, 0.1, 0.9)
+	if !ok || math.Abs(v-3) > 1e-12 {
+		t.Fatalf("v = %v ok = %v", v, ok)
+	}
+	if pi[0] != 1 {
+		t.Fatalf("pi = %v", pi)
+	}
+	// Force s ≥ 0.4: best is the mixture of vertices 0 and 1 on the hull
+	// at s = 0.4 — value interpolates between (0.2,3) and (0.5,2).
+	v, pi, ok = simplexLP(c, a, 0.4, 0.9)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	lam := (0.5 - 0.4) / (0.5 - 0.2)
+	want := lam*3 + (1-lam)*2
+	if math.Abs(v-want) > 1e-12 {
+		t.Fatalf("v = %v want %v (pi=%v)", v, want, pi)
+	}
+	if math.Abs(pi.Dot(a)-0.4) > 1e-12 || math.Abs(pi.Sum()-1) > 1e-12 {
+		t.Fatalf("pi infeasible: %v", pi)
+	}
+	// Interval outside [min a, max a] is infeasible.
+	if _, _, ok = simplexLP(c, a, 1.5, 2); ok {
+		t.Fatal("infeasible interval accepted")
+	}
+	if _, _, ok = simplexLP(c, a, -1, 0.1); ok {
+		t.Fatal("interval below min a accepted")
+	}
+}
+
+func TestSimplexLPEqualA(t *testing.T) {
+	// All a equal: hull collapses to one point carrying the best c.
+	c := mat.Vector{-1, 5, 2}
+	a := mat.Vector{0.3, 0.3, 0.3}
+	v, pi, ok := simplexLP(c, a, 0.3, 0.3)
+	if !ok || v != 5 || pi[1] != 1 {
+		t.Fatalf("v = %v pi = %v ok = %v", v, pi, ok)
+	}
+}
+
+// Property: simplexLP result is feasible and dominates random feasible
+// points on the simplex slice.
+func TestSimplexLPOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		c := make(mat.Vector, n)
+		a := make(mat.Vector, n)
+		for i := 0; i < n; i++ {
+			c[i] = rng.NormFloat64()
+			a[i] = rng.Float64()
+		}
+		lo, hi := a.Min(), a.Max()
+		sl := lo + rng.Float64()*(hi-lo)
+		sh := sl + rng.Float64()*(hi-sl)
+		v, pi, ok := simplexLP(c, a, sl, sh)
+		if !ok {
+			return false
+		}
+		s := pi.Dot(a)
+		if s < sl-1e-9 || s > sh+1e-9 || math.Abs(pi.Sum()-1) > 1e-9 || pi.Min() < -1e-12 {
+			return false
+		}
+		// Random simplex points inside the slice must not beat the LP.
+		for trial := 0; trial < 300; trial++ {
+			x := make(mat.Vector, n)
+			for i := range x {
+				x[i] = rng.ExpFloat64()
+			}
+			x.Normalize()
+			xs := x.Dot(a)
+			if xs < sl || xs > sh {
+				continue
+			}
+			if c.Dot(x) > v+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestQuadOnInterval(t *testing.T) {
+	// Concave with interior max at 0.5: -x² + x on [-1, 1].
+	if x := bestQuadOnInterval(-1, 1, -1, 1); math.Abs(x-0.5) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+	// Convex: best endpoint. x² + x on [-1, 1] → max at 1 (value 2).
+	if x := bestQuadOnInterval(1, 1, -1, 1); x != 1 {
+		t.Fatalf("x = %v", x)
+	}
+	// Decreasing linear on [-0.5, 1]: max at -0.5.
+	if x := bestQuadOnInterval(0, -1, -0.5, 1); x != -0.5 {
+		t.Fatalf("x = %v", x)
+	}
+	// No gain: returns 0.
+	if x := bestQuadOnInterval(-1, 0, -0.5, 0.5); x != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestCheckReleaseValidation(t *testing.T) {
+	ok3 := mat.Vector{0.1, 0.2, 0.3}
+	if _, err := CheckRelease(ReleaseCheck{ATilde: ok3, BTilde: mat.Vector{1}, CTilde: ok3, Epsilon: 1}, ReleaseOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := CheckRelease(ReleaseCheck{ATilde: ok3, BTilde: ok3, CTilde: ok3, Epsilon: 0}, ReleaseOptions{}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := CheckRelease(ReleaseCheck{ATilde: ok3, BTilde: ok3, CTilde: ok3, Epsilon: math.Inf(1)}, ReleaseOptions{}); err == nil {
+		t.Error("infinite epsilon accepted")
+	}
+}
+
+func TestCheckReleaseUninformativeObservationPasses(t *testing.T) {
+	// b̃ = Pr(E|u0=i)·k, c̃ = k: observation independent of state ⇒ no
+	// information disclosed ⇒ any ε certifiable.
+	a := mat.Vector{0.3, 0.5, 0.2}
+	k := 0.01
+	b := a.Clone().Scale(k)
+	c := mat.Vector{k, k, k}
+	dec, err := CheckRelease(ReleaseCheck{ATilde: a, BTilde: b, CTilde: c, Epsilon: 0.1}, ReleaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.OK {
+		t.Fatalf("uninformative release rejected: eq15=%+v eq16=%+v", dec.Eq15, dec.Eq16)
+	}
+}
+
+func TestCheckReleaseRevealingObservationFails(t *testing.T) {
+	// Observation perfectly correlated with the event: for π
+	// concentrated near state 0 the ratio explodes, so a small ε must be
+	// rejected via a Violated verdict.
+	a := mat.Vector{0.9, 0.1}
+	b := mat.Vector{0.9 * 0.99, 0.1 * 0.01} // Pr(E,o|u0): o strongly signals E
+	c := mat.Vector{0.9*0.99 + 0.1*0.3, 0.1*0.01 + 0.9*0.001}
+	_ = c
+	// Construct c̃ as b̃ + small not-E mass so that Pr(o|¬E) is tiny.
+	c2 := mat.Vector{b[0] + 0.001*(1-a[0]), b[1] + 0.001*(1-a[1])}
+	dec, err := CheckRelease(ReleaseCheck{ATilde: a, BTilde: b, CTilde: c2, Epsilon: 0.5}, ReleaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.OK {
+		t.Fatal("strongly revealing observation accepted")
+	}
+	if dec.Conservative {
+		t.Fatal("expected a hard violation, not a budget timeout")
+	}
+}
+
+func TestCheckReleaseZeroScaleTrivial(t *testing.T) {
+	a := mat.Vector{0.5, 0.5}
+	z := mat.Vector{0, 0}
+	dec, err := CheckRelease(ReleaseCheck{ATilde: a, BTilde: z, CTilde: z, Epsilon: 1}, ReleaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.OK {
+		t.Fatal("impossible observation should be trivially safe")
+	}
+}
+
+func TestCheckReleaseScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		a := make(mat.Vector, n)
+		b := make(mat.Vector, n)
+		c := make(mat.Vector, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Float64()
+			c[i] = rng.Float64()
+			b[i] = c[i] * rng.Float64() * a[i] // joint ≤ marginal heuristic
+		}
+		chk := ReleaseCheck{ATilde: a, BTilde: b, CTilde: c, Epsilon: 0.5 + rng.Float64()}
+		d1, err1 := CheckRelease(chk, ReleaseOptions{})
+		scaled := ReleaseCheck{
+			ATilde:  a,
+			BTilde:  b.Clone().Scale(1e-80),
+			CTilde:  c.Clone().Scale(1e-80),
+			Epsilon: chk.Epsilon,
+		}
+		d2, err2 := CheckRelease(scaled, ReleaseOptions{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return d1.OK == d2.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedPiLoss(t *testing.T) {
+	a := mat.Vector{0.5, 0.1}
+	b := mat.Vector{0.05, 0.02}
+	c := mat.Vector{0.2, 0.3}
+	pi := mat.Vector{0.5, 0.5}
+	loss, err := FixedPiLoss(ReleaseCheck{ATilde: a, BTilde: b, CTilde: c, Epsilon: 1}, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := 0.3
+	pj := 0.035
+	pob := 0.25
+	want := math.Abs(math.Log((pj / pe) / ((pob - pj) / (1 - pe))))
+	if math.Abs(loss-want) > 1e-12 {
+		t.Fatalf("loss = %v want %v", loss, want)
+	}
+}
+
+func TestFixedPiLossErrors(t *testing.T) {
+	chk := ReleaseCheck{
+		ATilde: mat.Vector{1, 1}, // prior 1 under any distribution pi
+		BTilde: mat.Vector{0.1, 0.1},
+		CTilde: mat.Vector{0.2, 0.2},
+	}
+	if _, err := FixedPiLoss(chk, mat.Vector{0.5, 0.5}); err == nil {
+		t.Error("degenerate prior accepted")
+	}
+	if _, err := FixedPiLoss(chk, mat.Vector{0.5}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	chk2 := ReleaseCheck{ATilde: mat.Vector{0.5, 0.5}, BTilde: mat.Vector{0, 0}, CTilde: mat.Vector{0, 0}}
+	if _, err := FixedPiLoss(chk2, mat.Vector{0.5, 0.5}); err == nil {
+		t.Error("zero observation probability accepted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Satisfied.String() != "satisfied" || Violated.String() != "violated" || Unknown.String() != "unknown" {
+		t.Error("verdict strings wrong")
+	}
+	if Verdict(9).String() == "" {
+		t.Error("unknown verdict should still render")
+	}
+}

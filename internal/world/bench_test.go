@@ -1,0 +1,109 @@
+package world
+
+import (
+	"math/rand"
+	"testing"
+
+	"priste/internal/event"
+	"priste/internal/grid"
+	"priste/internal/lppm"
+	"priste/internal/markov"
+	"priste/internal/mat"
+)
+
+// benchSetup builds a w×w-grid quantifier over the paper's event shape.
+func benchSetup(b *testing.B, side int) (*Model, []mat.Vector) {
+	b.Helper()
+	g := grid.MustNew(side, side, 1)
+	chain, err := markov.GaussianChain(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	region, err := grid.RegionRange(g.States(), 0, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := event.MustNewPresence(region, 3, 7)
+	md, err := NewModel(NewHomogeneous(chain), ev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plm := lppm.NewPlanarLaplace(g)
+	em, err := plm.Emission(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cols := make([]mat.Vector, 20)
+	for i := range cols {
+		cols[i] = em.Col(rng.Intn(g.States()))
+	}
+	return md, cols
+}
+
+// BenchmarkQuantifierCommit measures one committed timestamp (two m×m
+// multiplications) — the per-step cost of Algorithm 2's A/B updates.
+func BenchmarkQuantifierCommit(b *testing.B) {
+	for _, side := range []int{10, 20} {
+		b.Run(gridName(side), func(b *testing.B) {
+			md, cols := benchSetup(b, side)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := NewQuantifier(md)
+				for _, c := range cols {
+					if err := q.Commit(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQuantifierCheck measures one candidate check (O(m²)) — the
+// per-attempt cost before the QP solve.
+func BenchmarkQuantifierCheck(b *testing.B) {
+	for _, side := range []int{10, 20} {
+		b.Run(gridName(side), func(b *testing.B) {
+			md, cols := benchSetup(b, side)
+			q := NewQuantifier(md)
+			for _, c := range cols[:5] {
+				if err := q.Commit(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Check(cols[6]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrior measures Lemma III.1 (suffix products at model build).
+func BenchmarkPrior(b *testing.B) {
+	for _, side := range []int{10, 20} {
+		b.Run(gridName(side), func(b *testing.B) {
+			md, _ := benchSetup(b, side)
+			pi := markov.Uniform(md.States())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := md.Prior(pi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func gridName(side int) string {
+	if side >= 20 {
+		return "20x20"
+	}
+	return "10x10"
+}

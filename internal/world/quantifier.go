@@ -1,0 +1,273 @@
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"priste/internal/mat"
+	"priste/internal/qp"
+)
+
+// Quantifier is the streaming privacy-loss quantifier of Algorithm 2: it
+// maintains the forward operator A = [A_F | A_T] ∈ R^{m×2m} mapping an
+// unknown initial probability π to the augmented forward vector, and —
+// after the event window — the backward accumulator B (a single m×m block,
+// because the augmented after-event factors are block-diagonal with equal
+// blocks).
+//
+// For each timestamp the caller first calls Check with a candidate
+// emission column (the quantities ã, b̃, c̃ of Theorem IV.1 for the
+// candidate observation) and, once a candidate is accepted, Commit with
+// the released observation's emission column.
+//
+// To avoid underflow over long horizons the internal operators are
+// renormalised after every commit; b̃ and c̃ therefore carry a shared
+// unknown scale exp(LogScale), which cancels in the Theorem IV.1
+// conditions and is exposed for callers needing absolute probabilities.
+type Quantifier struct {
+	md *Model
+
+	af, at *mat.Matrix // committed forward blocks, m×m each
+	b1     *mat.Matrix // backward block, valid once t > end
+	t      int         // next timestamp to be observed (0-based)
+
+	logScale float64
+
+	atilde mat.Vector
+
+	// scratch
+	tmp1, tmp2, tmp3 mat.Vector
+	mx, my           *mat.Matrix
+	trCache          map[*mat.Matrix]*mat.Matrix
+}
+
+// NewQuantifier returns a fresh quantifier at time 0.
+func NewQuantifier(md *Model) *Quantifier {
+	m := md.m
+	return &Quantifier{
+		md:      md,
+		af:      mat.NewMatrix(m, m),
+		at:      mat.NewMatrix(m, m),
+		b1:      mat.Identity(m),
+		atilde:  md.ATilde(),
+		tmp1:    mat.NewVector(m),
+		tmp2:    mat.NewVector(m),
+		tmp3:    mat.NewVector(m),
+		mx:      mat.NewMatrix(m, m),
+		my:      mat.NewMatrix(m, m),
+		trCache: make(map[*mat.Matrix]*mat.Matrix, 2),
+	}
+}
+
+// T returns the next timestamp to be observed.
+func (q *Quantifier) T() int { return q.t }
+
+// LogScale returns the accumulated log of the normalisation factors; the
+// true joint probabilities are the reported b̃/c̃ times exp(LogScale).
+func (q *Quantifier) LogScale() float64 { return q.logScale }
+
+// ATilde returns ã (shared storage; do not mutate).
+func (q *Quantifier) ATilde() mat.Vector { return q.atilde }
+
+// Check computes the Theorem IV.1 vectors for observing a candidate with
+// emission column emis (emis[i] = Pr(o | u_t = s_i)) at the quantifier's
+// current timestamp, without committing it.
+func (q *Quantifier) Check(emis mat.Vector) (qp.ReleaseCheck, error) {
+	if err := q.validateEmission(emis); err != nil {
+		return qp.ReleaseCheck{}, err
+	}
+	m := q.md.m
+	b := mat.NewVector(m)
+	c := mat.NewVector(m)
+	switch {
+	case q.t == 0:
+		// b̃ᵢ = emisᵢ·ãᵢ, c̃ᵢ = emisᵢ.
+		for i := 0; i < m; i++ {
+			b[i] = emis[i] * q.atilde[i]
+			c[i] = emis[i]
+		}
+	case q.t <= q.md.end:
+		ft, tt := q.md.stepMasks(q.t - 1)
+		tr := q.md.tp.Matrix(q.t - 1)
+		vF, vT := q.md.vF[q.t], q.md.vT[q.t]
+		// uF = M·((1−ft)∘(emis∘vF) + ft∘(emis∘vT))
+		for i := 0; i < m; i++ {
+			q.tmp1[i] = emis[i] * ((1-ft[i])*vF[i] + ft[i]*vT[i])
+		}
+		uF := tr.MulVec(q.tmp1)
+		for i := 0; i < m; i++ {
+			q.tmp1[i] = emis[i] * ((1-tt[i])*vF[i] + tt[i]*vT[i])
+		}
+		uT := tr.MulVec(q.tmp1)
+		q.af.MulVecInto(b, uF)
+		q.at.MulVecInto(q.tmp2, uT)
+		b.AddInto(b, q.tmp2)
+		// c̃ = (A_F + A_T)·(M·emis)
+		cu := tr.MulVec(emis)
+		q.af.MulVecInto(c, cu)
+		q.at.MulVecInto(q.tmp2, cu)
+		c.AddInto(c, q.tmp2)
+	default: // q.t > end
+		tr := q.md.tp.Matrix(q.t - 1)
+		me := tr.MulVec(emis)
+		z := q.b1.VecMul(me) // row: (M·emis)ᵀ·B₁
+		q.at.MulVecInto(b, z)
+		q.af.MulVecInto(c, z)
+		c.AddInto(c, b)
+	}
+	return qp.ReleaseCheck{ATilde: q.atilde, BTilde: b, CTilde: c}, nil
+}
+
+// Current returns the Theorem IV.1 vectors for the already-committed
+// observation prefix (no candidate). Before any commit, b̃ = ã and c̃ = 1.
+func (q *Quantifier) Current() qp.ReleaseCheck {
+	m := q.md.m
+	b := mat.NewVector(m)
+	c := mat.NewVector(m)
+	switch {
+	case q.t == 0:
+		copy(b, q.atilde)
+		for i := range c {
+			c[i] = 1
+		}
+	case q.t-1 <= q.md.end:
+		vF, vT := q.md.vF[q.t-1], q.md.vT[q.t-1]
+		q.af.MulVecInto(b, vF)
+		q.at.MulVecInto(q.tmp2, vT)
+		b.AddInto(b, q.tmp2)
+		q.af.MulVecInto(c, q.md.ones)
+		q.at.MulVecInto(q.tmp2, q.md.ones)
+		c.AddInto(c, q.tmp2)
+	default:
+		z := q.b1.VecMul(q.md.ones)
+		q.at.MulVecInto(b, z)
+		q.af.MulVecInto(c, z)
+		c.AddInto(c, b)
+	}
+	return qp.ReleaseCheck{ATilde: q.atilde, BTilde: b, CTilde: c}
+}
+
+// Commit folds the released observation's emission column into the
+// quantifier state and advances time.
+func (q *Quantifier) Commit(emis mat.Vector) error {
+	if err := q.validateEmission(emis); err != nil {
+		return err
+	}
+	m := q.md.m
+	switch {
+	case q.t == 0:
+		mask0 := q.md.mask0
+		q.af.Zero()
+		q.at.Zero()
+		for i := 0; i < m; i++ {
+			q.af.Set(i, i, (1-mask0[i])*emis[i])
+			q.at.Set(i, i, mask0[i]*emis[i])
+		}
+	case q.t <= q.md.end:
+		ft, tt := q.md.stepMasks(q.t - 1)
+		tr := q.md.tp.Matrix(q.t - 1)
+		mat.MulInto(q.mx, q.af, tr) // X = A_F·M
+		mat.MulInto(q.my, q.at, tr) // Y = A_T·M
+		// A_F' = X·diag(1−ft) + Y·diag(1−tt), A_T' = X·diag(ft) + Y·diag(tt),
+		// then both column-scaled by the emission.
+		for i := 0; i < m; i++ {
+			xr := q.mx.Row(i)
+			yr := q.my.Row(i)
+			fr := q.af.Row(i)
+			trw := q.at.Row(i)
+			for j := 0; j < m; j++ {
+				fr[j] = (xr[j]*(1-ft[j]) + yr[j]*(1-tt[j])) * emis[j]
+				trw[j] = (xr[j]*ft[j] + yr[j]*tt[j]) * emis[j]
+			}
+		}
+	default: // q.t > end: B₁ ← diag(emis)·Mᵀ·B₁
+		trT := q.transpose(q.md.tp.Matrix(q.t - 1))
+		mat.MulInto(q.mx, trT, q.b1)
+		mat.ScaleRowsInto(q.b1, q.mx, emis)
+	}
+	q.t++
+	q.renormalise()
+	return nil
+}
+
+// renormalise rescales the active operator so its largest entry is 1,
+// accumulating the factor in logScale. A zero operator (an impossible
+// observation sequence) is left as-is; Check/Current then return all-zero
+// b̃/c̃, which CheckRelease treats as trivially safe.
+func (q *Quantifier) renormalise() {
+	var scale float64
+	if q.t-1 <= q.md.end {
+		scale = math.Max(q.af.MaxAbs(), q.at.MaxAbs())
+		if scale == 0 || scale == 1 {
+			return
+		}
+		q.af.Scale(1 / scale)
+		q.at.Scale(1 / scale)
+	} else {
+		scale = q.b1.MaxAbs()
+		if scale == 0 || scale == 1 {
+			return
+		}
+		q.b1.Scale(1 / scale)
+	}
+	q.logScale += math.Log(scale)
+}
+
+func (q *Quantifier) transpose(m *mat.Matrix) *mat.Matrix {
+	if t, ok := q.trCache[m]; ok {
+		return t
+	}
+	t := m.Transpose()
+	if len(q.trCache) < 64 {
+		q.trCache[m] = t
+	}
+	return t
+}
+
+func (q *Quantifier) validateEmission(emis mat.Vector) error {
+	if len(emis) != q.md.m {
+		return fmt.Errorf("world: emission column length %d want %d", len(emis), q.md.m)
+	}
+	for i, v := range emis {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("world: emission[%d] = %g invalid", i, v)
+		}
+	}
+	return nil
+}
+
+// JointAndMarginal runs a fresh quantifier over a full observation
+// sequence and returns Pr(EVENT, o₀..o_{T-1}) and Pr(o₀..o_{T-1}) for a
+// fixed initial probability. Emission columns are supplied per timestamp.
+// This is the direct evaluation of Lemmas III.2/III.3 used in tests and
+// the Fig. 14 harness.
+func JointAndMarginal(md *Model, pi mat.Vector, emissions []mat.Vector) (joint, marginal float64, err error) {
+	if len(pi) != md.m {
+		return 0, 0, fmt.Errorf("world: pi length %d want %d", len(pi), md.m)
+	}
+	q := NewQuantifier(md)
+	for _, e := range emissions {
+		if err := q.Commit(e); err != nil {
+			return 0, 0, err
+		}
+	}
+	chk := q.Current()
+	scale := math.Exp(q.LogScale())
+	return pi.Dot(chk.BTilde) * scale, pi.Dot(chk.CTilde) * scale, nil
+}
+
+// PrivacyLoss returns the realised ε of Definition II.4 for a fixed
+// initial probability after observing the given sequence: the max of the
+// two log-ratios between Pr(o|EVENT) and Pr(o|¬EVENT).
+func PrivacyLoss(md *Model, pi mat.Vector, emissions []mat.Vector) (float64, error) {
+	if len(pi) != md.m {
+		return 0, fmt.Errorf("world: pi length %d want %d", len(pi), md.m)
+	}
+	q := NewQuantifier(md)
+	for _, e := range emissions {
+		if err := q.Commit(e); err != nil {
+			return 0, err
+		}
+	}
+	return qp.FixedPiLoss(q.Current(), pi)
+}

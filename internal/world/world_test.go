@@ -1,0 +1,605 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"priste/internal/event"
+	"priste/internal/grid"
+	"priste/internal/hmm"
+	"priste/internal/markov"
+	"priste/internal/mat"
+)
+
+// paperChain is the transition matrix of Example III.1 / Eq. (2).
+func paperChain() *markov.Chain {
+	return markov.MustNewChain(mat.FromRows([][]float64{
+		{0.1, 0.2, 0.7},
+		{0.4, 0.1, 0.5},
+		{0, 0.1, 0.9},
+	}))
+}
+
+// noisyEmission is a 3-state symmetric noisy channel.
+func noisyEmission() *mat.Matrix {
+	return mat.FromRows([][]float64{
+		{0.8, 0.1, 0.1},
+		{0.1, 0.8, 0.1},
+		{0.1, 0.1, 0.8},
+	})
+}
+
+func emissionColumn(e *mat.Matrix, obs int) mat.Vector { return e.Col(obs) }
+
+func mustModel(t *testing.T, tp TransitionProvider, ev event.Event) *Model {
+	t.Helper()
+	md, err := NewModel(tp, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md
+}
+
+// TestExampleC1 reproduces the worked example of Appendix C: the PRESENCE
+// event at region {s0,s1} (paper: s1,s2) during paper-times 3..4 (0-based
+// 2..3) has Pr(PRESENCE) = π·[0.28, 0.298, 0.226]ᵀ.
+func TestExampleC1(t *testing.T) {
+	region := grid.MustRegionOf(3, 0, 1)
+	ev := event.MustNewPresence(region, 2, 3)
+	md := mustModel(t, NewHomogeneous(paperChain()), ev)
+	a := md.ATilde()
+	want := mat.Vector{0.28, 0.298, 0.226}
+	if !a.EqualApprox(want, 1e-12) {
+		t.Fatalf("ATilde = %v, want %v", a, want)
+	}
+	pi := mat.Vector{0.2, 0.3, 0.5}
+	prior, err := md.Prior(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prior-pi.Dot(want)) > 1e-12 {
+		t.Fatalf("prior = %v", prior)
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	ev := event.MustNewPresence(grid.MustRegionOf(4, 0), 1, 2)
+	if _, err := NewModel(NewHomogeneous(paperChain()), ev); err == nil {
+		t.Error("state-space mismatch accepted")
+	}
+}
+
+func TestVaryingProvider(t *testing.T) {
+	m1 := paperChain().Matrix()
+	if _, err := NewVarying(nil); err == nil {
+		t.Error("empty list accepted")
+	}
+	bad := mat.NewMatrix(3, 3)
+	if _, err := NewVarying([]*mat.Matrix{bad}); err == nil {
+		t.Error("non-stochastic accepted")
+	}
+	if _, err := NewVarying([]*mat.Matrix{m1, mat.Identity(2)}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	v, err := NewVarying([]*mat.Matrix{m1, mat.Identity(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Matrix(0) != m1 || v.Matrix(1) != v.Matrix(99) {
+		t.Error("matrix selection wrong")
+	}
+	if v.States() != 3 {
+		t.Error("states wrong")
+	}
+}
+
+func TestPriorValidation(t *testing.T) {
+	ev := event.MustNewPresence(grid.MustRegionOf(3, 0), 1, 2)
+	md := mustModel(t, NewHomogeneous(paperChain()), ev)
+	if _, err := md.Prior(mat.Vector{1, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := md.Prior(mat.Vector{1, 1, 1}); err == nil {
+		t.Error("non-distribution accepted")
+	}
+}
+
+// TestPriorMatchesNaivePresence cross-validates Lemma III.1 against the
+// exponential enumeration for a spread of PRESENCE events.
+func TestPriorMatchesNaivePresence(t *testing.T) {
+	c := paperChain()
+	tp := NewHomogeneous(c)
+	pi := mat.Vector{0.5, 0.2, 0.3}
+	cases := []struct {
+		states     []int
+		start, end int
+	}{
+		{[]int{0}, 0, 0},
+		{[]int{0, 1}, 0, 2},
+		{[]int{1}, 1, 1},
+		{[]int{0, 1}, 2, 3},
+		{[]int{2}, 1, 3},
+		{[]int{0, 2}, 3, 4},
+	}
+	for _, tc := range cases {
+		ev := event.MustNewPresence(grid.MustRegionOf(3, tc.states...), tc.start, tc.end)
+		md := mustModel(t, tp, ev)
+		got, err := md.Prior(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := event.NaivePrior(c, pi, ev.Expr(), tc.end+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%v: prior = %v, naive = %v", ev, got, want)
+		}
+	}
+}
+
+// TestPriorMatchesNaivePattern does the same for PATTERN events.
+func TestPriorMatchesNaivePattern(t *testing.T) {
+	c := paperChain()
+	tp := NewHomogeneous(c)
+	pi := mat.Vector{0.5, 0.2, 0.3}
+	cases := []struct {
+		regions [][]int
+		start   int
+	}{
+		{[][]int{{0, 1}}, 0},
+		{[][]int{{0, 1}, {1, 2}}, 1},
+		{[][]int{{0}, {2}, {1, 2}}, 2},
+		{[][]int{{0, 1, 2}, {1}}, 0},
+		{[][]int{{2}, {2}, {2}}, 1},
+	}
+	for _, tc := range cases {
+		regions := make([]*grid.Region, len(tc.regions))
+		for i, ss := range tc.regions {
+			regions[i] = grid.MustRegionOf(3, ss...)
+		}
+		ev := event.MustNewPattern(regions, tc.start)
+		md := mustModel(t, tp, ev)
+		got, err := md.Prior(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, end := ev.Window()
+		want, err := event.NaivePrior(c, pi, ev.Expr(), end+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%v: prior = %v, naive = %v", ev, got, want)
+		}
+	}
+}
+
+// randomEvent builds a random small PRESENCE or PATTERN event over m=3.
+func randomEvent(rng *rand.Rand) event.Event {
+	if rng.Intn(2) == 0 {
+		var states []int
+		for s := 0; s < 3; s++ {
+			if rng.Intn(2) == 0 {
+				states = append(states, s)
+			}
+		}
+		if len(states) == 0 {
+			states = []int{rng.Intn(3)}
+		}
+		start := rng.Intn(3)
+		end := start + rng.Intn(3)
+		return event.MustNewPresence(grid.MustRegionOf(3, states...), start, end)
+	}
+	n := 1 + rng.Intn(3)
+	regions := make([]*grid.Region, n)
+	for i := range regions {
+		var states []int
+		for s := 0; s < 3; s++ {
+			if rng.Intn(2) == 0 {
+				states = append(states, s)
+			}
+		}
+		if len(states) == 0 {
+			states = []int{rng.Intn(3)}
+		}
+		regions[i] = grid.MustRegionOf(3, states...)
+	}
+	return event.MustNewPattern(regions, rng.Intn(3))
+}
+
+// Property: prior via two-possible-worlds equals naive enumeration, and
+// Pr(E) + Pr(¬E) = 1 implicitly (naive checks the complement too).
+func TestPriorMatchesNaiveProperty(t *testing.T) {
+	c := paperChain()
+	tp := NewHomogeneous(c)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ev := randomEvent(rng)
+		pi := mat.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+		pi.Normalize()
+		md, err := NewModel(tp, ev)
+		if err != nil {
+			return false
+		}
+		got, err := md.Prior(pi)
+		if err != nil {
+			return false
+		}
+		_, end := ev.Window()
+		want, err := event.NaivePrior(c, pi, ev.Expr(), end+1)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 1e-10 && got >= -1e-12 && got <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJointMatchesNaive cross-validates Lemmas III.2/III.3 (before, during
+// and after the window) against naive enumeration.
+func TestJointMatchesNaive(t *testing.T) {
+	c := paperChain()
+	tp := NewHomogeneous(c)
+	pi := mat.Vector{0.5, 0.2, 0.3}
+	em := noisyEmission()
+	emFn := func(tt, o, s int) float64 { return em.At(s, o) }
+
+	region := grid.MustRegionOf(3, 0, 1)
+	ev := event.MustNewPresence(region, 2, 3)
+	md := mustModel(t, tp, ev)
+
+	obs := []int{0, 2, 1, 2, 0, 1} // covers before, during, after the window
+	for prefix := 1; prefix <= len(obs); prefix++ {
+		emissions := make([]mat.Vector, prefix)
+		for i := 0; i < prefix; i++ {
+			emissions[i] = emissionColumn(em, obs[i])
+		}
+		joint, marginal, err := JointAndMarginal(md, pi, emissions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := 4 // end+1
+		if prefix > horizon {
+			horizon = prefix
+		}
+		wantJoint, err := event.NaiveJoint(c, pi, ev.Expr(), obs[:prefix], emFn, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(joint-wantJoint) > 1e-12 {
+			t.Errorf("prefix %d: joint = %v, naive = %v", prefix, joint, wantJoint)
+		}
+		// Marginal must match the HMM forward likelihood.
+		model, err := hmm.NewModel(c, pi, hmm.MustNewMatrixEmission(em))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll, err := model.LogLikelihood(obs[:prefix])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(marginal-math.Exp(ll)) > 1e-12 {
+			t.Errorf("prefix %d: marginal = %v, hmm = %v", prefix, marginal, math.Exp(ll))
+		}
+	}
+}
+
+// Property: joint for random events and observation sequences matches the
+// naive enumeration, and joint ≤ marginal.
+func TestJointMatchesNaiveProperty(t *testing.T) {
+	c := paperChain()
+	tp := NewHomogeneous(c)
+	em := noisyEmission()
+	emFn := func(tt, o, s int) float64 { return em.At(s, o) }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ev := randomEvent(rng)
+		_, end := ev.Window()
+		pi := mat.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+		pi.Normalize()
+		nObs := 1 + rng.Intn(end+3)
+		obs := make([]int, nObs)
+		emissions := make([]mat.Vector, nObs)
+		for i := range obs {
+			obs[i] = rng.Intn(3)
+			emissions[i] = emissionColumn(em, obs[i])
+		}
+		md, err := NewModel(tp, ev)
+		if err != nil {
+			return false
+		}
+		joint, marginal, err := JointAndMarginal(md, pi, emissions)
+		if err != nil {
+			return false
+		}
+		horizon := end + 1
+		if nObs > horizon {
+			horizon = nObs
+		}
+		want, err := event.NaiveJoint(c, pi, ev.Expr(), obs, emFn, horizon)
+		if err != nil {
+			return false
+		}
+		return math.Abs(joint-want) < 1e-10 && joint <= marginal+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckConsistentWithCommit verifies that the candidate-check vectors
+// equal the committed Current vectors up to the shared rescale.
+func TestCheckConsistentWithCommit(t *testing.T) {
+	c := paperChain()
+	em := noisyEmission()
+	ev := event.MustNewPresence(grid.MustRegionOf(3, 0, 1), 2, 3)
+	md := mustModel(t, NewHomogeneous(c), ev)
+	q := NewQuantifier(md)
+	pi := mat.Vector{0.3, 0.3, 0.4}
+	obs := []int{0, 1, 2, 0, 1, 2}
+	for _, o := range obs {
+		col := emissionColumn(em, o)
+		chk, err := q.Check(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preScale := math.Exp(q.LogScale())
+		if err := q.Commit(col); err != nil {
+			t.Fatal(err)
+		}
+		cur := q.Current()
+		postScale := math.Exp(q.LogScale())
+		// π·b̃ and π·c̃ must agree after undoing the rescale.
+		gotB := pi.Dot(cur.BTilde) * postScale
+		wantB := pi.Dot(chk.BTilde) * preScale
+		if math.Abs(gotB-wantB) > 1e-12*math.Max(1, math.Abs(wantB)) {
+			t.Fatalf("t=%d: committed joint %v != checked %v", q.T()-1, gotB, wantB)
+		}
+		gotC := pi.Dot(cur.CTilde) * postScale
+		wantC := pi.Dot(chk.CTilde) * preScale
+		if math.Abs(gotC-wantC) > 1e-12*math.Max(1, math.Abs(wantC)) {
+			t.Fatalf("t=%d: committed marginal %v != checked %v", q.T()-1, gotC, wantC)
+		}
+	}
+}
+
+// TestQuantifierRescaleInvariance runs a long horizon and verifies the
+// marginal still matches the HMM likelihood through the rescaling.
+func TestQuantifierRescaleInvariance(t *testing.T) {
+	c := paperChain()
+	em := noisyEmission()
+	ev := event.MustNewPresence(grid.MustRegionOf(3, 0), 5, 8)
+	md := mustModel(t, NewHomogeneous(c), ev)
+	pi := markov.Uniform(3)
+	rng := rand.New(rand.NewSource(5))
+	obs := make([]int, 40)
+	emissions := make([]mat.Vector, len(obs))
+	for i := range obs {
+		obs[i] = rng.Intn(3)
+		emissions[i] = emissionColumn(em, obs[i])
+	}
+	_, marginal, err := JointAndMarginal(md, pi, emissions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _ := hmm.NewModel(c, pi, hmm.MustNewMatrixEmission(em))
+	ll, err := model.LogLikelihood(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(marginal-math.Exp(ll)) / math.Exp(ll); rel > 1e-9 {
+		t.Fatalf("marginal %v vs hmm %v (rel %v)", marginal, math.Exp(ll), rel)
+	}
+}
+
+func TestQuantifierEmissionValidation(t *testing.T) {
+	ev := event.MustNewPresence(grid.MustRegionOf(3, 0), 1, 2)
+	md := mustModel(t, NewHomogeneous(paperChain()), ev)
+	q := NewQuantifier(md)
+	if _, err := q.Check(mat.Vector{1, 1}); err == nil {
+		t.Error("short emission accepted")
+	}
+	if err := q.Commit(mat.Vector{1, -1, 0}); err == nil {
+		t.Error("negative emission accepted")
+	}
+	if err := q.Commit(mat.Vector{1, math.NaN(), 0}); err == nil {
+		t.Error("NaN emission accepted")
+	}
+}
+
+// TestPrivacyLossUninformative: a constant emission discloses nothing, so
+// the realised privacy loss is 0.
+func TestPrivacyLossUninformative(t *testing.T) {
+	ev := event.MustNewPresence(grid.MustRegionOf(3, 0, 1), 1, 2)
+	md := mustModel(t, NewHomogeneous(paperChain()), ev)
+	pi := markov.Uniform(3)
+	uniformCol := mat.Vector{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	loss, err := PrivacyLoss(md, pi, []mat.Vector{uniformCol, uniformCol, uniformCol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 1e-10 {
+		t.Fatalf("loss = %v, want ~0", loss)
+	}
+}
+
+// TestPrivacyLossRevealing: a near-deterministic emission observing the
+// user inside the region during the window should leak heavily.
+func TestPrivacyLossRevealing(t *testing.T) {
+	sharp := mat.FromRows([][]float64{
+		{0.998, 0.001, 0.001},
+		{0.001, 0.998, 0.001},
+		{0.001, 0.001, 0.998},
+	})
+	ev := event.MustNewPresence(grid.MustRegionOf(3, 0), 1, 1)
+	md := mustModel(t, NewHomogeneous(paperChain()), ev)
+	pi := markov.Uniform(3)
+	// Observing u0 ≈ s1 (the region's most likely predecessor) and then
+	// u1 ≈ s0 (inside the region) pins the event down almost surely.
+	emissions := []mat.Vector{emissionColumn(sharp, 1), emissionColumn(sharp, 0)}
+	loss, err := PrivacyLoss(md, pi, emissions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss < 2 {
+		t.Fatalf("loss = %v, expected substantial leakage", loss)
+	}
+}
+
+// TestPatternDropOut verifies PATTERN's non-sticky dynamics: mass that
+// enters the first region but misses the second must not count.
+func TestPatternDropOut(t *testing.T) {
+	// Deterministic cycle 0→1→2→0. Pattern: region {0} at t=1 then {0} at
+	// t=2 — impossible, because after visiting 0 the user must be at 1.
+	c := markov.MustNewChain(mat.FromRows([][]float64{
+		{0, 1, 0}, {0, 0, 1}, {1, 0, 0},
+	}))
+	regions := []*grid.Region{grid.MustRegionOf(3, 0), grid.MustRegionOf(3, 0)}
+	ev := event.MustNewPattern(regions, 1)
+	md := mustModel(t, NewHomogeneous(c), ev)
+	prior, err := md.Prior(markov.Uniform(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prior > 1e-15 {
+		t.Fatalf("impossible pattern has prior %v", prior)
+	}
+	// The feasible pattern {0} then {1} has prior = Pr(u1=0) = Pr(u0=2) = 1/3.
+	regions2 := []*grid.Region{grid.MustRegionOf(3, 0), grid.MustRegionOf(3, 1)}
+	ev2 := event.MustNewPattern(regions2, 1)
+	md2 := mustModel(t, NewHomogeneous(c), ev2)
+	prior2, _ := md2.Prior(markov.Uniform(3))
+	if math.Abs(prior2-1.0/3) > 1e-12 {
+		t.Fatalf("feasible pattern prior = %v, want 1/3", prior2)
+	}
+}
+
+// TestStartZeroEvents checks the initial-mask handling when the event
+// window includes timestamp 0.
+func TestStartZeroEvents(t *testing.T) {
+	c := paperChain()
+	pi := mat.Vector{0.5, 0.2, 0.3}
+	// PRESENCE at {s1} at t=0 only: prior = π₁.
+	ev := event.MustNewPresence(grid.MustRegionOf(3, 1), 0, 0)
+	md := mustModel(t, NewHomogeneous(c), ev)
+	prior, _ := md.Prior(pi)
+	if math.Abs(prior-0.2) > 1e-15 {
+		t.Fatalf("prior = %v, want 0.2", prior)
+	}
+	// PRESENCE at {s1} during t=0..1: 1 - Pr(u0≠1, u1≠1).
+	ev2 := event.MustNewPresence(grid.MustRegionOf(3, 1), 0, 1)
+	md2 := mustModel(t, NewHomogeneous(c), ev2)
+	prior2, _ := md2.Prior(pi)
+	want := 1.0 - (0.5*(0.1+0.7) + 0.3*(0+0.9))
+	if math.Abs(prior2-want) > 1e-12 {
+		t.Fatalf("prior = %v, want %v", prior2, want)
+	}
+}
+
+// TestTimeVaryingChain exercises the Varying provider end to end against a
+// naive computation with per-step matrices.
+func TestTimeVaryingChain(t *testing.T) {
+	m1 := paperChain().Matrix()
+	m2 := mat.FromRows([][]float64{
+		{0.5, 0.5, 0},
+		{0, 0.5, 0.5},
+		{0.5, 0, 0.5},
+	})
+	v, err := NewVarying([]*mat.Matrix{m1, m2, m1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := mat.Vector{1, 0, 0}
+	ev := event.MustNewPresence(grid.MustRegionOf(3, 2), 2, 2)
+	md := mustModel(t, v, ev)
+	prior, err := md.Prior(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pr(u2 = 2 | u0 = 0) under M1 then M2.
+	p1 := m1.VecMul(pi)
+	p2 := m2.VecMul(p1)
+	if math.Abs(prior-p2[2]) > 1e-12 {
+		t.Fatalf("prior = %v, want %v", prior, p2[2])
+	}
+}
+
+// TestImpossibleObservations: a zero emission column drives the operators
+// to zero; Check must then report all-zero b̃/c̃ rather than NaN.
+func TestImpossibleObservations(t *testing.T) {
+	ev := event.MustNewPresence(grid.MustRegionOf(3, 0), 1, 2)
+	md := mustModel(t, NewHomogeneous(paperChain()), ev)
+	q := NewQuantifier(md)
+	zero := mat.Vector{0, 0, 0}
+	if err := q.Commit(zero); err != nil {
+		t.Fatal(err)
+	}
+	chk, err := q.Check(mat.Vector{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.BTilde.AbsMax() != 0 || chk.CTilde.AbsMax() != 0 {
+		t.Fatalf("expected zero vectors, got b=%v c=%v", chk.BTilde, chk.CTilde)
+	}
+}
+
+// TestSparseEventsMatchNaive cross-validates the non-consecutive-time
+// events (the paper's §II-B generalisation) through the two-possible-world
+// quantifier.
+func TestSparseEventsMatchNaive(t *testing.T) {
+	c := paperChain()
+	tp := NewHomogeneous(c)
+	pi := mat.Vector{0.5, 0.2, 0.3}
+	em := noisyEmission()
+	emFn := func(tt, o, s int) float64 { return em.At(s, o) }
+
+	sparsePresence, err := event.NewSparsePresence(grid.MustRegionOf(3, 0), []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparsePattern, err := event.NewSparsePattern([]int{1, 3},
+		[]*grid.Region{grid.MustRegionOf(3, 0, 1), grid.MustRegionOf(3, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []event.Event{sparsePresence, sparsePattern} {
+		md := mustModel(t, tp, ev)
+		prior, err := md.Prior(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, end := ev.Window()
+		wantPrior, err := event.NaivePrior(c, pi, ev.Expr(), end+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(prior-wantPrior) > 1e-12 {
+			t.Errorf("%v: prior %v vs naive %v", ev, prior, wantPrior)
+		}
+		obs := []int{0, 2, 1, 0, 2}
+		emissions := make([]mat.Vector, len(obs))
+		for i, o := range obs {
+			emissions[i] = emissionColumn(em, o)
+		}
+		joint, _, err := JointAndMarginal(md, pi, emissions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := end + 1
+		if len(obs) > horizon {
+			horizon = len(obs)
+		}
+		wantJoint, err := event.NaiveJoint(c, pi, ev.Expr(), obs, emFn, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(joint-wantJoint) > 1e-12 {
+			t.Errorf("%v: joint %v vs naive %v", ev, joint, wantJoint)
+		}
+	}
+}

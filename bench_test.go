@@ -5,9 +5,15 @@
 package priste_test
 
 import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"priste"
 	"priste/internal/experiments"
 )
 
@@ -130,4 +136,43 @@ func BenchmarkTableIII(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServerStep measures serving-path throughput: parallel goroutines
+// each own one pristed session over the in-process HTTP API and step a
+// random walk; one iteration is one certified release round-trip.
+func BenchmarkServerStep(b *testing.B) {
+	cfg := priste.DefaultServerConfig()
+	cfg.GridW, cfg.GridH = 6, 6
+	cfg.Events = []string{"0-5@2-4"}
+	cfg.QPTimeout = 0
+	srv, err := priste.NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var nextSession atomic.Int64
+	m := cfg.GridW * cfg.GridH
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := priste.NewServerClient(ts.URL, &http.Client{})
+		ctx := context.Background()
+		seed := nextSession.Add(1)
+		info, err := client.CreateSession(ctx, priste.CreateSessionRequest{Seed: &seed})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for pb.Next() {
+			if _, err := client.Step(ctx, info.ID, rng.Intn(m)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }

@@ -22,22 +22,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
-	"strings"
 
 	"priste"
+	"priste/internal/eventspec"
 )
 
-type eventFlags []string
-
-func (e *eventFlags) String() string { return strings.Join(*e, ";") }
-func (e *eventFlags) Set(v string) error {
-	*e = append(*e, v)
-	return nil
-}
-
 func main() {
-	var events eventFlags
+	var events eventspec.ListFlag
 	var (
 		gridN = flag.Int("grid", 10, "map side length")
 		cell  = flag.Float64("cell", 1.0, "cell edge length (km)")
@@ -79,16 +70,15 @@ func main() {
 	} else {
 		traj = chain.SamplePath(rng, pi, *T)
 	}
+	if len(traj) == 0 {
+		check(fmt.Errorf("empty trajectory (horizon 0)"))
+	}
 
 	if len(events) == 0 {
-		events = eventFlags{"0-9@3-7"}
+		events = eventspec.ListFlag{"0-9@3-7"}
 	}
-	var evs []priste.Event
-	for _, spec := range events {
-		ev, err := parseEvent(spec, m, len(traj))
-		check(err)
-		evs = append(evs, ev)
-	}
+	evs, err := eventspec.ParseAll(events, m, len(traj))
+	check(err)
 
 	var mech priste.Mechanism
 	if *delta >= 0 {
@@ -116,50 +106,6 @@ func main() {
 	if err == nil {
 		fmt.Fprintf(os.Stderr, "realised loss for event 0 under uniform prior: %.4f\n", loss)
 	}
-}
-
-// parseEvent parses "LO-HI@START-END".
-func parseEvent(spec string, m, horizon int) (priste.Event, error) {
-	parts := strings.Split(spec, "@")
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("event %q: want LO-HI@START-END", spec)
-	}
-	lo, hi, err := parseRange(parts[0])
-	if err != nil {
-		return nil, fmt.Errorf("event %q states: %w", spec, err)
-	}
-	start, end, err := parseRange(parts[1])
-	if err != nil {
-		return nil, fmt.Errorf("event %q window: %w", spec, err)
-	}
-	if hi >= m {
-		return nil, fmt.Errorf("event %q: state %d outside %d-state map", spec, hi, m)
-	}
-	if end >= horizon {
-		return nil, fmt.Errorf("event %q: window end %d outside horizon %d", spec, end, horizon)
-	}
-	region := priste.NewRegion(m)
-	for s := lo; s <= hi; s++ {
-		region.Add(s)
-	}
-	return priste.NewPresence(region, start, end)
-}
-
-func parseRange(s string) (lo, hi int, err error) {
-	parts := strings.Split(s, "-")
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("want LO-HI, got %q", s)
-	}
-	if lo, err = strconv.Atoi(parts[0]); err != nil {
-		return 0, 0, err
-	}
-	if hi, err = strconv.Atoi(parts[1]); err != nil {
-		return 0, 0, err
-	}
-	if lo < 0 || hi < lo {
-		return 0, 0, fmt.Errorf("invalid range %d-%d", lo, hi)
-	}
-	return lo, hi, nil
 }
 
 func check(err error) {

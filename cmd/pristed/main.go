@@ -1,0 +1,116 @@
+// Command pristed is the PriSTE release daemon: a long-lived HTTP/JSON
+// service managing many independent per-user privacy sessions, each a
+// full PriSTE release loop (core.Framework) with its own RNG, mechanism
+// and protected-event set. Steps from different users run concurrently
+// on a worker pool; each session stays single-writer with FIFO ordering
+// and bounded-queue backpressure.
+//
+// Usage:
+//
+//	pristed [-addr :8377] [-grid 10] [-cell 1.0] [-sigma 1.0] \
+//	    [-eps 0.5] [-alpha 1.0] [-delta -1] [-event "0-9@3-7"]... \
+//	    [-max-sessions 4096] [-session-ttl 15m] [-workers 0] [-queue 64]
+//
+// API:
+//
+//	POST   /v1/sessions           {"seed":1,"events":["0-9@3-7"]}
+//	POST   /v1/sessions/{id}/step {"loc":42}
+//	POST   /v1/step               {"steps":[{"session_id":"..","loc":42},...]}
+//	GET    /v1/sessions/{id}      session state
+//	DELETE /v1/sessions/{id}      close a session
+//	GET    /healthz               liveness
+//	GET    /statsz                counters (sessions, steps, latency)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"priste/internal/eventspec"
+	"priste/internal/server"
+)
+
+func main() {
+	var events eventspec.ListFlag
+	var (
+		addr        = flag.String("addr", ":8377", "listen address")
+		gridN       = flag.Int("grid", 10, "map side length")
+		cell        = flag.Float64("cell", 1.0, "cell edge length (km)")
+		sigma       = flag.Float64("sigma", 1.0, "mobility Gaussian scale")
+		eps         = flag.Float64("eps", 0.5, "default epsilon-spatiotemporal event privacy")
+		alpha       = flag.Float64("alpha", 1.0, "default initial PLM budget (1/km)")
+		delta       = flag.Float64("delta", -1, "default delta-location-set parameter; negative = plain geo-ind")
+		qpTimeout   = flag.Duration("qp-timeout", time.Second, "conservative-release threshold per candidate; 0 = no limit")
+		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "live-session cap (LRU eviction beyond)")
+		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle-session eviction TTL; negative disables")
+		workers     = flag.Int("workers", 0, "step worker pool size; 0 = GOMAXPROCS")
+		queue       = flag.Int("queue", server.DefaultQueueDepth, "per-session pending-step queue depth")
+	)
+	flag.Var(&events, "event", `default PRESENCE spec "LO-HI@START-END" (repeatable)`)
+	flag.Parse()
+
+	if *workers < 0 {
+		// Config.Workers < 0 is an internal test hook (no pool at all);
+		// a daemon without workers would accept steps and never serve
+		// them.
+		fmt.Fprintln(os.Stderr, "pristed: -workers must be >= 0 (0 = GOMAXPROCS)")
+		os.Exit(2)
+	}
+
+	cfg := server.DefaultConfig()
+	cfg.GridW, cfg.GridH = *gridN, *gridN
+	cfg.Cell = *cell
+	cfg.Sigma = *sigma
+	cfg.Epsilon = *eps
+	cfg.Alpha = *alpha
+	cfg.QPTimeout = *qpTimeout
+	cfg.MaxSessions = *maxSessions
+	cfg.SessionTTL = *sessionTTL
+	cfg.Workers = *workers
+	cfg.QueueDepth = *queue
+	if *delta >= 0 {
+		cfg.Mechanism = server.MechanismDelta
+		cfg.Delta = *delta
+	}
+	if len(events) > 0 {
+		cfg.Events = events
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pristed:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("pristed: serving on %s (map %dx%d, mechanism %s, max %d sessions, %d-deep queues)",
+		*addr, cfg.GridW, cfg.GridH, cfg.Mechanism, cfg.MaxSessions, cfg.QueueDepth)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "pristed:", err)
+		os.Exit(1)
+	}
+	log.Printf("pristed: shut down")
+}

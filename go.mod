@@ -1,0 +1,3 @@
+module priste
+
+go 1.24

@@ -1,0 +1,95 @@
+package eventspec
+
+import (
+	"strings"
+	"testing"
+
+	"priste/internal/event"
+)
+
+func TestParseValid(t *testing.T) {
+	ev, err := Parse("0-9@3-7", 100, 20)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	p, ok := ev.(*event.Presence)
+	if !ok {
+		t.Fatalf("got %T, want *event.Presence", ev)
+	}
+	start, end := p.Window()
+	if start != 3 || end != 7 {
+		t.Fatalf("window = [%d,%d], want [3,7]", start, end)
+	}
+	for s := 0; s <= 9; s++ {
+		if !p.Region.Contains(s) {
+			t.Fatalf("region missing state %d", s)
+		}
+	}
+	if p.Region.Contains(10) {
+		t.Fatal("region contains state 10")
+	}
+}
+
+func TestParseHorizon(t *testing.T) {
+	if _, err := Parse("0-9@3-7", 100, 7); err == nil {
+		t.Fatal("window end 7 should be rejected for horizon 7")
+	}
+	// Non-positive horizon disables the bound (open-ended sessions).
+	if _, err := Parse("0-9@3-7", 100, 0); err != nil {
+		t.Fatalf("horizon 0 should disable the bound: %v", err)
+	}
+	if _, err := Parse("0-9@3-7", 100, -1); err != nil {
+		t.Fatalf("horizon -1 should disable the bound: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"0-9", "want LO-HI@START-END"},
+		{"0-9@3-7@1-2", "want LO-HI@START-END"},
+		{"9-0@3-7", "invalid range"},
+		{"a-9@3-7", "invalid syntax"},
+		{"0-9@7-3", "invalid range"},
+		{"0-99@3-7", "outside 50-state map"},
+		{"0@3-7", "want LO-HI"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec, 50, 20)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.spec, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	evs, err := ParseAll([]string{"0-3@0-2", "4-7@5-9"}, 16, 10)
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if _, err := ParseAll([]string{"0-3@0-2", "bad"}, 16, 10); err == nil {
+		t.Fatal("ParseAll with a bad spec should fail")
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	lo, hi, err := ParseRange("2-5")
+	if err != nil || lo != 2 || hi != 5 {
+		t.Fatalf("ParseRange(2-5) = %d,%d,%v", lo, hi, err)
+	}
+	if _, _, err := ParseRange("5"); err == nil {
+		t.Fatal("ParseRange(5) should fail")
+	}
+	if _, _, err := ParseRange("-1-5"); err == nil {
+		t.Fatal("ParseRange(-1-5) should fail")
+	}
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Client is a typed client for the pristed HTTP/JSON API.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the pristed instance at baseURL (e.g.
+// "http://localhost:8377"). httpClient nil uses http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// APIError is a non-2xx response decoded from the error envelope.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
+}
+
+// do issues one JSON round-trip; out nil discards the body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateSession creates a session and returns its initial state.
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &info)
+	return info, err
+}
+
+// Session returns a session's current state.
+func (c *Client) Session(ctx context.Context, id string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// DeleteSession closes a session.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Step releases one true location through a session.
+func (c *Client) Step(ctx context.Context, id string, loc int) (StepResponse, error) {
+	var out StepResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/step", StepRequest{Loc: loc}, &out)
+	return out, err
+}
+
+// StepBatch releases locations for many users at once; Results[i]
+// corresponds to steps[i], with per-item errors reported inline.
+func (c *Client) StepBatch(ctx context.Context, steps []BatchStepItem) ([]StepResponse, error) {
+	var out BatchStepResponse
+	err := c.do(ctx, http.MethodPost, "/v1/step", BatchStepRequest{Steps: steps}, &out)
+	return out.Results, err
+}
+
+// Stats returns the service counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/statsz", nil, &st)
+	return st, err
+}
+
+// Health reports server liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

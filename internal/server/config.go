@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+)
+
+// Default service limits.
+const (
+	DefaultMaxSessions = 4096
+	DefaultSessionTTL  = 15 * time.Minute
+	DefaultQueueDepth  = 64
+)
+
+// Config describes one pristed deployment: the shared world model every
+// session lives in (map, mobility), the per-session privacy defaults
+// (mechanism, budget, protected events), and the service limits (session
+// cap, idle TTL, worker pool, queue depth). Sessions may override the
+// privacy defaults at creation time; the world model is fixed for the
+// lifetime of the server.
+type Config struct {
+	// GridW, GridH are the map dimensions; Cell is the cell edge length
+	// in user units (e.g. km).
+	GridW, GridH int
+	Cell         float64
+	// Sigma is the Gaussian scale of the synthetic mobility model shared
+	// by all sessions (§V-A).
+	Sigma float64
+
+	// Epsilon and Alpha are the default ε-spatiotemporal event privacy
+	// level and initial LPPM budget for new sessions.
+	Epsilon float64
+	Alpha   float64
+	// Mechanism is the default LPPM: MechanismLaplace or MechanismDelta.
+	Mechanism string
+	// Delta is the δ-location-set parameter used when Mechanism is
+	// MechanismDelta.
+	Delta float64
+	// Events are the default protected-event specs ("LO-HI@START-END",
+	// see internal/eventspec) for sessions that do not supply their own.
+	Events []string
+	// QPTimeout is the conservative-release threshold passed to the core
+	// release loop; zero means no limit (fully deterministic stepping).
+	QPTimeout time.Duration
+
+	// MaxSessions caps live sessions; creating one more evicts the least
+	// recently used session. Default DefaultMaxSessions.
+	MaxSessions int
+	// SessionTTL evicts sessions idle for longer than this. Zero uses
+	// DefaultSessionTTL; negative disables idle eviction.
+	SessionTTL time.Duration
+	// Workers sizes the step worker pool. Zero uses GOMAXPROCS; negative
+	// starts no workers (test hook: enqueued steps are never drained).
+	Workers int
+	// QueueDepth bounds each session's pending-step queue; an enqueue on
+	// a full queue fails with ErrQueueFull (HTTP 429). Default
+	// DefaultQueueDepth.
+	QueueDepth int
+}
+
+// Mechanism names accepted by Config and session-creation requests.
+const (
+	MechanismLaplace = "laplace"
+	MechanismDelta   = "delta"
+)
+
+// DefaultConfig returns a small default deployment: 10×10 km map,
+// unit-scale Gaussian mobility, geo-indistinguishability at ε=0.5, α=1,
+// protecting PRESENCE over states 0..9 during timestamps 3..7.
+func DefaultConfig() Config {
+	return Config{
+		GridW:     10,
+		GridH:     10,
+		Cell:      1.0,
+		Sigma:     1.0,
+		Epsilon:   0.5,
+		Alpha:     1.0,
+		Mechanism: MechanismLaplace,
+		Delta:     0.05,
+		Events:    []string{"0-9@3-7"},
+		QPTimeout: time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = DefaultSessionTTL
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.Mechanism == "" {
+		c.Mechanism = MechanismLaplace
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.GridW <= 0 || c.GridH <= 0 {
+		return fmt.Errorf("server: grid %dx%d must be positive", c.GridW, c.GridH)
+	}
+	if c.Cell <= 0 || math.IsNaN(c.Cell) {
+		return fmt.Errorf("server: cell size must be positive, got %g", c.Cell)
+	}
+	if c.Sigma <= 0 || math.IsNaN(c.Sigma) {
+		return fmt.Errorf("server: sigma must be positive, got %g", c.Sigma)
+	}
+	if c.Epsilon <= 0 || math.IsNaN(c.Epsilon) || math.IsInf(c.Epsilon, 0) {
+		return fmt.Errorf("server: epsilon must be positive and finite, got %g", c.Epsilon)
+	}
+	if c.Alpha <= 0 || math.IsNaN(c.Alpha) || math.IsInf(c.Alpha, 0) {
+		return fmt.Errorf("server: alpha must be positive and finite, got %g", c.Alpha)
+	}
+	switch c.Mechanism {
+	case MechanismLaplace:
+	case MechanismDelta:
+		if c.Delta < 0 || c.Delta >= 1 || math.IsNaN(c.Delta) {
+			return fmt.Errorf("server: delta must lie in [0,1), got %g", c.Delta)
+		}
+	default:
+		return fmt.Errorf("server: unknown mechanism %q (want %q or %q)", c.Mechanism, MechanismLaplace, MechanismDelta)
+	}
+	if len(c.Events) == 0 {
+		return fmt.Errorf("server: at least one default event spec is required")
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// CreateSessionRequest is the body of POST /v1/sessions. Zero-valued
+// fields inherit the server defaults; a nil Seed draws a random one.
+type CreateSessionRequest struct {
+	// ID optionally fixes the session id (e.g. a user id); a live
+	// duplicate is rejected with 409.
+	ID string `json:"id,omitempty"`
+	// Seed fixes the session RNG for reproducible releases.
+	Seed      *int64   `json:"seed,omitempty"`
+	Epsilon   float64  `json:"epsilon,omitempty"`
+	Alpha     float64  `json:"alpha,omitempty"`
+	Mechanism string   `json:"mechanism,omitempty"`
+	Delta     *float64 `json:"delta,omitempty"`
+	Events    []string `json:"events,omitempty"`
+}
+
+// SessionInfo is the body of GET /v1/sessions/{id} and the create
+// response. T is the next timestamp to be released (steps served so far).
+type SessionInfo struct {
+	ID        string    `json:"id"`
+	T         int       `json:"t"`
+	Epsilon   float64   `json:"epsilon"`
+	Alpha     float64   `json:"alpha"`
+	Mechanism string    `json:"mechanism"`
+	Events    []string  `json:"events"`
+	Created   time.Time `json:"created"`
+	LastUsed  time.Time `json:"last_used"`
+	Queued    int       `json:"queued"`
+}
+
+// StepRequest is the body of POST /v1/sessions/{id}/step.
+type StepRequest struct {
+	// Loc is the user's true location (0-based row-major grid state).
+	Loc int `json:"loc"`
+}
+
+// StepResponse mirrors core.StepResult: one certified release.
+type StepResponse struct {
+	// SessionID identifies the session in batch responses.
+	SessionID string `json:"session_id,omitempty"`
+	T         int    `json:"t"`
+	// Obs is the released (perturbed) location.
+	Obs int `json:"obs"`
+	// Alpha is the final budget used; 0 for the uniform fallback.
+	Alpha                  float64 `json:"alpha"`
+	Attempts               int     `json:"attempts"`
+	ConservativeRejections int     `json:"conservative_rejections"`
+	Uniform                bool    `json:"uniform"`
+	CheckMicros            float64 `json:"check_us"`
+	// Error and Code report per-item failures in batch responses; both
+	// are empty on success.
+	Error string `json:"error,omitempty"`
+	Code  int    `json:"code,omitempty"`
+}
+
+// BatchStepItem is one entry of POST /v1/step.
+type BatchStepItem struct {
+	SessionID string `json:"session_id"`
+	Loc       int    `json:"loc"`
+}
+
+// BatchStepRequest is the body of POST /v1/step: a multi-user ingest
+// batch. Items for the same session are applied in slice order.
+type BatchStepRequest struct {
+	Steps []BatchStepItem `json:"steps"`
+}
+
+// BatchStepResponse is the body of the batch response; Results[i]
+// corresponds to Steps[i].
+type BatchStepResponse struct {
+	Results []StepResponse `json:"results"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// httpStatus maps session-layer errors onto HTTP status codes.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrSessionClosed):
+		return http.StatusGone
+	case errors.Is(err, ErrSessionExists):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// Handler returns the HTTP/JSON API:
+//
+//	POST   /v1/sessions           create a session
+//	GET    /v1/sessions/{id}      session state
+//	DELETE /v1/sessions/{id}      close a session
+//	POST   /v1/sessions/{id}/step release one location
+//	POST   /v1/step               batch multi-user ingest
+//	GET    /healthz               liveness
+//	GET    /statsz                service counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	mux.HandleFunc("POST /v1/step", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statsz", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}
+
+func stepResponse(id string, res stepOutcome) StepResponse {
+	if res.err != nil {
+		return StepResponse{
+			SessionID: id,
+			Error:     res.err.Error(),
+			Code:      httpStatus(res.err),
+		}
+	}
+	return StepResponse{
+		SessionID:              id,
+		T:                      res.res.T,
+		Obs:                    res.res.Obs,
+		Alpha:                  res.res.Alpha,
+		Attempts:               res.res.Attempts,
+		ConservativeRejections: res.res.ConservativeRejections,
+		Uniform:                res.res.Uniform,
+		CheckMicros:            float64(res.res.CheckTime) / 1e3,
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	sess, err := s.CreateSession(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionInfo(sess))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	info, err := s.SessionInfo(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.DeleteSession(r.PathValue("id")) {
+		writeError(w, ErrNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	var req StepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	id := r.PathValue("id")
+	done, err := s.stepAsync(id, req.Loc)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	select {
+	case out := <-done:
+		if out.err != nil {
+			writeError(w, out.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, stepResponse("", out))
+	case <-r.Context().Done():
+		// Client gone; the worker completes into the buffered channel.
+	}
+}
+
+// handleBatch serves POST /v1/step: every item is enqueued in slice
+// order (so items for the same session preserve their relative order and
+// different sessions step in parallel), then the handler collects the
+// certified releases. Per-item failures are reported inline; the batch
+// itself is always 200.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchStepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	dones := make([]chan stepOutcome, len(req.Steps))
+	results := make([]StepResponse, len(req.Steps))
+	for i, item := range req.Steps {
+		done, err := s.stepAsync(item.SessionID, item.Loc)
+		if err != nil {
+			results[i] = stepResponse(item.SessionID, stepOutcome{err: err})
+			continue
+		}
+		dones[i] = done
+	}
+	for i, done := range dones {
+		if done == nil {
+			continue
+		}
+		out := <-done
+		results[i] = stepResponse(req.Steps[i].SessionID, out)
+	}
+	writeJSON(w, http.StatusOK, BatchStepResponse{Results: results})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": s.metrics.sessionsLive.Load(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}

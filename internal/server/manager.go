@@ -1,0 +1,178 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// numShards stripes the session map's mutexes so session lookup and
+// creation from many connections do not serialise on one lock.
+const numShards = 32
+
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// Manager is the sharded registry of live sessions with idle-TTL and
+// max-sessions LRU eviction. Eviction closes the session, failing its
+// pending steps with ErrSessionClosed.
+type Manager struct {
+	shards  [numShards]shard
+	max     int
+	ttl     time.Duration
+	metrics *Metrics
+}
+
+func newManager(max int, ttl time.Duration, metrics *Metrics) *Manager {
+	m := &Manager{max: max, ttl: ttl, metrics: metrics}
+	for i := range m.shards {
+		m.shards[i].sessions = make(map[string]*Session)
+	}
+	return m
+}
+
+func (m *Manager) shardFor(id string) *shard {
+	// Inline FNV-1a: a hash.Hash32 allocation per lookup is measurable
+	// on the step path.
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &m.shards[h%numShards]
+}
+
+// Get returns the live session with the given id.
+func (m *Manager) Get(id string) (*Session, bool) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// Put registers a new session; when that pushes the registry past
+// capacity, least-recently-used sessions are evicted to restore the cap.
+// Fails with ErrSessionExists when the id is already live. Inserting
+// before evicting means a rejected duplicate never evicts an unrelated
+// session, and racing creates each pay for their own eviction instead of
+// overshooting the cap.
+func (m *Manager) Put(s *Session) error {
+	sh := m.shardFor(s.id)
+	sh.mu.Lock()
+	if _, ok := sh.sessions[s.id]; ok {
+		sh.mu.Unlock()
+		return ErrSessionExists
+	}
+	sh.sessions[s.id] = s
+	sh.mu.Unlock()
+	m.metrics.sessionsLive.Add(1)
+	m.metrics.sessionsCreated.Add(1)
+	for m.metrics.sessionsLive.Load() > int64(m.max) {
+		if !m.evictLRU() {
+			break
+		}
+	}
+	return nil
+}
+
+// Remove unregisters and closes the session with the given id.
+func (m *Manager) Remove(id string) bool {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return false
+	}
+	m.metrics.sessionsLive.Add(-1)
+	s.close()
+	return true
+}
+
+// evictLRU removes and closes the session with the oldest lastUsed
+// timestamp. The scan is O(live sessions); at the DefaultMaxSessions
+// scale this is cheap relative to one certified Step. Returns false when
+// no session was live.
+func (m *Manager) evictLRU() bool {
+	var victim *Session
+	var oldest int64
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			if t := s.lastUsed.Load(); victim == nil || t < oldest {
+				victim, oldest = s, t
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if victim == nil {
+		return false
+	}
+	if m.Remove(victim.id) {
+		m.metrics.sessionsEvicted.Add(1)
+		return true
+	}
+	// Lost a race with Remove; report progress so Put re-checks capacity.
+	return true
+}
+
+// sweep evicts every session idle since before the TTL cutoff and
+// returns how many it removed. No-op when idle eviction is disabled.
+func (m *Manager) sweep(now time.Time) int {
+	if m.ttl <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-m.ttl).UnixNano()
+	var victims []string
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for id, s := range sh.sessions {
+			if s.lastUsed.Load() < cutoff {
+				victims = append(victims, id)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	evicted := 0
+	for _, id := range victims {
+		if m.Remove(id) {
+			m.metrics.sessionsEvicted.Add(1)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// CloseAll removes and closes every live session (shutdown path).
+func (m *Manager) CloseAll() {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sessions := sh.sessions
+		sh.sessions = make(map[string]*Session)
+		sh.mu.Unlock()
+		for _, s := range sessions {
+			m.metrics.sessionsLive.Add(-1)
+			s.close()
+		}
+	}
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return n
+}

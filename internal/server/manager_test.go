@@ -1,0 +1,221 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// testConfig is a small deterministic deployment: 6×6 map, no QP
+// deadline (so identical seeds give identical releases), short queues.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GridW, cfg.GridH = 6, 6
+	cfg.Events = []string{"0-5@2-4"}
+	cfg.QPTimeout = 0
+	cfg.SessionTTL = -1 // no janitor; tests sweep by hand
+	return cfg
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	srv := newTestServer(t, testConfig())
+	seed := int64(7)
+	sess, err := srv.CreateSession(CreateSessionRequest{ID: "alice", Seed: &seed})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if sess.id != "alice" {
+		t.Fatalf("id = %q, want alice", sess.id)
+	}
+	if _, err := srv.CreateSession(CreateSessionRequest{ID: "alice"}); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("duplicate create: err = %v, want ErrSessionExists", err)
+	}
+	res, err := srv.Step("alice", 3)
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if res.T != 0 {
+		t.Fatalf("first step T = %d, want 0", res.T)
+	}
+	info, err := srv.SessionInfo("alice")
+	if err != nil || info.T != 1 {
+		t.Fatalf("SessionInfo = %+v, %v; want T=1", info, err)
+	}
+	if !srv.DeleteSession("alice") {
+		t.Fatal("DeleteSession returned false")
+	}
+	if _, err := srv.Step("alice", 3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("step after delete: err = %v, want ErrNotFound", err)
+	}
+	if _, err := srv.Step("ghost", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown session: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	srv := newTestServer(t, testConfig())
+	if _, err := srv.CreateSession(CreateSessionRequest{ID: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Step("u", 99); err == nil {
+		t.Fatal("loc 99 on a 36-state map should fail")
+	}
+	// The session survives a bad step.
+	if _, err := srv.Step("u", 0); err != nil {
+		t.Fatalf("step after bad loc: %v", err)
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	// Drive the manager's sweep directly with a hand-held clock; the
+	// server's janitor just calls sweep(time.Now()) on a ticker.
+	ttl := time.Minute
+	metrics := &Metrics{}
+	mgr := newManager(10, ttl, metrics)
+	now := time.Now()
+	for _, id := range []string{"a", "b"} {
+		s := &Session{id: id, created: now}
+		s.touch(now)
+		if err := mgr.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := mgr.sweep(now); n != 0 {
+		t.Fatalf("fresh sessions swept: %d", n)
+	}
+	// Keep "b" fresh past the cutoff; "a" expires.
+	future := now.Add(ttl + time.Second)
+	if s, ok := mgr.Get("b"); ok {
+		s.touch(future)
+	}
+	if n := mgr.sweep(future); n != 1 {
+		t.Fatalf("swept %d sessions, want 1", n)
+	}
+	if _, ok := mgr.Get("a"); ok {
+		t.Fatal("idle session a still live")
+	}
+	if _, ok := mgr.Get("b"); !ok {
+		t.Fatal("fresh session b evicted")
+	}
+	st := metrics.Snapshot()
+	if st.Sessions.Evicted != 1 || st.Sessions.Live != 1 {
+		t.Fatalf("stats = %+v, want 1 evicted, 1 live", st.Sessions)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSessions = 3
+	srv := newTestServer(t, cfg)
+	base := time.Now()
+	// Backdate the first three so u1 is the least recently used and the
+	// new session (stamped with the real clock) is the freshest.
+	offsets := map[string]time.Duration{"u0": -2 * time.Minute, "u1": -3 * time.Minute, "u2": -time.Minute}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("u%d", i)
+		if _, err := srv.CreateSession(CreateSessionRequest{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := srv.mgr.Get(id)
+		s.touch(base.Add(offsets[id]))
+	}
+	if _, err := srv.CreateSession(CreateSessionRequest{ID: "u3"}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.mgr.Len() != 3 {
+		t.Fatalf("live = %d, want 3", srv.mgr.Len())
+	}
+	if _, ok := srv.mgr.Get("u1"); ok {
+		t.Fatal("LRU session u1 still live")
+	}
+	for _, id := range []string{"u0", "u2", "u3"} {
+		if _, ok := srv.mgr.Get(id); !ok {
+			t.Fatalf("session %s evicted, want u1", id)
+		}
+	}
+	if ev := srv.metrics.sessionsEvicted.Load(); ev != 1 {
+		t.Fatalf("evicted = %d, want 1", ev)
+	}
+}
+
+// TestDuplicateCreateAtCapacity checks a rejected duplicate id never
+// evicts an unrelated live session.
+func TestDuplicateCreateAtCapacity(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSessions = 2
+	srv := newTestServer(t, cfg)
+	for _, id := range []string{"a", "b"} {
+		if _, err := srv.CreateSession(CreateSessionRequest{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := srv.CreateSession(CreateSessionRequest{ID: "a"}); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("duplicate create: %v, want ErrSessionExists", err)
+	}
+	if srv.mgr.Len() != 2 {
+		t.Fatalf("live = %d after rejected create, want 2", srv.mgr.Len())
+	}
+	if ev := srv.metrics.sessionsEvicted.Load(); ev != 0 {
+		t.Fatalf("evicted = %d after rejected create, want 0", ev)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = -1 // nothing drains: queues only fill
+	cfg.QueueDepth = 2
+	srv := newTestServer(t, cfg)
+	if _, err := srv.CreateSession(CreateSessionRequest{ID: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := srv.stepAsync("u", 0); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if _, err := srv.stepAsync("u", 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("enqueue on full queue: err = %v, want ErrQueueFull", err)
+	}
+	if n := srv.metrics.Snapshot().Steps.QueueRejections; n != 1 {
+		t.Fatalf("queue_rejections = %d, want 1", n)
+	}
+	// Closing the session fails the pending steps.
+	sess, _ := srv.mgr.Get("u")
+	srv.DeleteSession("u")
+	if sess.queued() != 0 {
+		t.Fatalf("queued = %d after close, want 0", sess.queued())
+	}
+}
+
+func TestPendingStepsFailOnClose(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = -1
+	srv := newTestServer(t, cfg)
+	if _, err := srv.CreateSession(CreateSessionRequest{ID: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	done, err := srv.stepAsync("u", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.DeleteSession("u")
+	select {
+	case out := <-done:
+		if !errors.Is(out.err, ErrSessionClosed) {
+			t.Fatalf("pending step: err = %v, want ErrSessionClosed", out.err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending step never failed after close")
+	}
+}

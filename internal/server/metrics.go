@@ -1,0 +1,134 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"priste/internal/core"
+)
+
+// latencyWindow is the number of recent step latencies retained for the
+// p50/p99 estimates.
+const latencyWindow = 2048
+
+// Metrics holds the service counters behind /statsz: expvar-style atomic
+// counters plus a sliding window of step latencies for quantiles.
+type Metrics struct {
+	sessionsLive    atomic.Int64
+	sessionsCreated atomic.Int64
+	sessionsEvicted atomic.Int64
+
+	stepsServed     atomic.Int64
+	stepErrors      atomic.Int64
+	uniformReleases atomic.Int64
+	queueRejections atomic.Int64
+
+	lat struct {
+		mu  sync.Mutex
+		buf [latencyWindow]int64 // nanoseconds, ring
+		n   int64                // total observed
+	}
+}
+
+func (m *Metrics) observeStep(d time.Duration, res core.StepResult, err error) {
+	if err != nil {
+		m.stepErrors.Add(1)
+		return
+	}
+	m.stepsServed.Add(1)
+	if res.Uniform {
+		m.uniformReleases.Add(1)
+	}
+	m.lat.mu.Lock()
+	m.lat.buf[m.lat.n%latencyWindow] = int64(d)
+	m.lat.n++
+	m.lat.mu.Unlock()
+}
+
+// quantiles returns the p50 and p99 of the retained latency window and
+// the number of samples actually backing them (at most latencyWindow).
+func (m *Metrics) quantiles() (p50, p99 time.Duration, samples int64) {
+	m.lat.mu.Lock()
+	k := m.lat.n
+	if k > latencyWindow {
+		k = latencyWindow
+	}
+	tmp := make([]int64, k)
+	copy(tmp, m.lat.buf[:k])
+	m.lat.mu.Unlock()
+	if k == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(k-1))
+		return time.Duration(tmp[i])
+	}
+	return at(0.50), at(0.99), k
+}
+
+// Stats is the JSON document served at /statsz.
+type Stats struct {
+	Sessions SessionStats `json:"sessions"`
+	Steps    StepStats    `json:"steps"`
+	Latency  LatencyStats `json:"latency"`
+}
+
+// SessionStats counts session lifecycle events.
+type SessionStats struct {
+	Live    int64 `json:"live"`
+	Created int64 `json:"created"`
+	Evicted int64 `json:"evicted"`
+}
+
+// StepStats counts served steps. SuppressionRate is the fraction of
+// released timestamps that fell back to the uniform (zero-information)
+// release.
+type StepStats struct {
+	Served          int64   `json:"served"`
+	Errors          int64   `json:"errors"`
+	Uniform         int64   `json:"uniform"`
+	SuppressionRate float64 `json:"suppression_rate"`
+	QueueRejections int64   `json:"queue_rejections"`
+}
+
+// LatencyStats summarises recent step latency. Samples counts the
+// observations backing the quantiles (the retained window, not the
+// lifetime step total — that is Steps.Served).
+type LatencyStats struct {
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	Samples   int64   `json:"samples"`
+}
+
+// Snapshot returns a consistent-enough view of the counters.
+func (m *Metrics) Snapshot() Stats {
+	p50, p99, samples := m.quantiles()
+	served := m.stepsServed.Load()
+	uniform := m.uniformReleases.Load()
+	var rate float64
+	if served > 0 {
+		rate = float64(uniform) / float64(served)
+	}
+	return Stats{
+		Sessions: SessionStats{
+			Live:    m.sessionsLive.Load(),
+			Created: m.sessionsCreated.Load(),
+			Evicted: m.sessionsEvicted.Load(),
+		},
+		Steps: StepStats{
+			Served:          served,
+			Errors:          m.stepErrors.Load(),
+			Uniform:         uniform,
+			SuppressionRate: rate,
+			QueueRejections: m.queueRejections.Load(),
+		},
+		Latency: LatencyStats{
+			P50Micros: float64(p50) / 1e3,
+			P99Micros: float64(p99) / 1e3,
+			Samples:   samples,
+		},
+	}
+}

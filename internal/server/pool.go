@@ -1,0 +1,83 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// pool is the step execution layer: a fixed set of workers pulling
+// runnable sessions off a shared run queue. A session enters the run
+// queue at most once (guarded by its scheduled token), and the worker
+// that pops it drains its FIFO queue to empty before releasing the
+// token — so steps from many users run concurrently while each session
+// stays single-writer with per-session FIFO ordering.
+type pool struct {
+	runq    chan *Session
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	metrics *Metrics
+}
+
+func newPool(workers, maxSessions int, metrics *Metrics) *pool {
+	p := &pool{
+		// A session holds at most one run-queue slot; headroom covers
+		// sessions evicted while scheduled.
+		runq:    make(chan *Session, 2*maxSessions+16),
+		quit:    make(chan struct{}),
+		metrics: metrics,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// schedule hands a session holding the scheduled token to a worker.
+func (p *pool) schedule(s *Session) {
+	select {
+	case p.runq <- s:
+	case <-p.quit:
+		// Shutdown: the server closes every session before stopping the
+		// pool, which fails all pending jobs.
+		s.close()
+	}
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case s := <-p.runq:
+			p.drain(s)
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// drain runs the session's pending steps in FIFO order until the queue
+// empties, then releases the scheduled token.
+func (p *pool) drain(s *Session) {
+	for {
+		j, ok := s.pop()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		res, err := s.fw.Step(j.loc)
+		if err == nil {
+			s.steps.Add(1)
+		}
+		s.touch(time.Now())
+		p.metrics.observeStep(time.Since(start), res, err)
+		j.done <- stepOutcome{res: res, err: err}
+	}
+}
+
+// stop shuts the workers down. The caller must have closed every session
+// first so no pending job is left unanswered.
+func (p *pool) stop() {
+	close(p.quit)
+	p.wg.Wait()
+}

@@ -1,0 +1,262 @@
+// Package server implements the pristed serving subsystem: a long-lived
+// concurrent multi-user release service layered over the core PriSTE
+// engine. Each user owns a Session — a core.Framework with its own RNG,
+// mechanism and event set — managed by a sharded SessionManager with
+// idle-TTL and LRU eviction. Step calls are executed by a worker pool
+// that keeps every session single-writer with per-session FIFO ordering
+// and bounded-queue backpressure, and the whole thing is exposed as an
+// HTTP/JSON API (see Handler) with a typed Client.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"priste/internal/core"
+	"priste/internal/eventspec"
+	"priste/internal/grid"
+	"priste/internal/lppm"
+	"priste/internal/markov"
+	"priste/internal/mat"
+	"priste/internal/world"
+)
+
+// Server is one pristed instance: the shared world model (grid, mobility
+// chain), the session registry, the step worker pool, and the service
+// counters. Create with New, expose with Handler, release with Close.
+type Server struct {
+	cfg     Config
+	g       *grid.Grid
+	chain   *markov.Chain
+	tp      world.TransitionProvider
+	pi      mat.Vector
+	mgr     *Manager
+	pool    *pool
+	metrics *Metrics
+
+	janitorQuit chan struct{}
+	janitorWG   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// New builds a server: validates the config, precomputes the shared world
+// model, and starts the worker pool and the idle-session janitor.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := grid.New(cfg.GridW, cfg.GridH, cfg.Cell)
+	if err != nil {
+		return nil, fmt.Errorf("server: grid: %w", err)
+	}
+	chain, err := markov.GaussianChain(g, cfg.Sigma)
+	if err != nil {
+		return nil, fmt.Errorf("server: mobility chain: %w", err)
+	}
+	// Fail fast on an unparsable default event set.
+	if _, err := eventspec.ParseAll(cfg.Events, g.States(), 0); err != nil {
+		return nil, err
+	}
+	metrics := &Metrics{}
+	workers := cfg.Workers
+	if workers < 0 {
+		workers = 0
+	}
+	s := &Server{
+		cfg:         cfg,
+		g:           g,
+		chain:       chain,
+		tp:          world.NewHomogeneous(chain),
+		pi:          markov.Uniform(g.States()),
+		mgr:         newManager(cfg.MaxSessions, cfg.SessionTTL, metrics),
+		pool:        newPool(workers, cfg.MaxSessions, metrics),
+		metrics:     metrics,
+		janitorQuit: make(chan struct{}),
+	}
+	if cfg.SessionTTL > 0 {
+		s.janitorWG.Add(1)
+		go s.janitor()
+	}
+	return s, nil
+}
+
+// janitor periodically evicts idle sessions.
+func (s *Server) janitor() {
+	defer s.janitorWG.Done()
+	interval := s.cfg.SessionTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case now := <-tick.C:
+			s.mgr.sweep(now)
+		case <-s.janitorQuit:
+			return
+		}
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Metrics returns the live service counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Sessions returns the session registry.
+func (s *Server) Sessions() *Manager { return s.mgr }
+
+// Close stops the janitor, closes every session (failing pending steps
+// with ErrSessionClosed) and stops the worker pool. Safe to call more
+// than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.janitorQuit)
+		s.janitorWG.Wait()
+		s.mgr.CloseAll()
+		s.pool.stop()
+	})
+}
+
+// CreateSession builds and registers a session from a creation request,
+// applying the server's privacy defaults for absent fields. At capacity
+// the least recently used session is evicted to make room.
+func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
+	m := s.g.States()
+	eps := req.Epsilon
+	if eps == 0 {
+		eps = s.cfg.Epsilon
+	}
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = s.cfg.Alpha
+	}
+	mechName := req.Mechanism
+	if mechName == "" {
+		mechName = s.cfg.Mechanism
+	}
+	specs := req.Events
+	if len(specs) == 0 {
+		specs = s.cfg.Events
+	}
+	events, err := eventspec.ParseAll(specs, m, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	var mech lppm.Perturber
+	switch mechName {
+	case MechanismLaplace:
+		mech = lppm.NewPlanarLaplace(s.g)
+	case MechanismDelta:
+		delta := s.cfg.Delta
+		if req.Delta != nil {
+			delta = *req.Delta
+		}
+		mech, err = lppm.NewDeltaLocationSet(s.g, s.chain, s.pi, delta)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown mechanism %q (want %q or %q)", mechName, MechanismLaplace, MechanismDelta)
+	}
+
+	var seed int64
+	if req.Seed != nil {
+		seed = *req.Seed
+	} else {
+		seed = randomSeed()
+	}
+	coreCfg := core.DefaultConfig(eps, alpha)
+	coreCfg.QPTimeout = s.cfg.QPTimeout
+	fw, err := core.New(mech, s.tp, events, coreCfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+
+	id := req.ID
+	if id == "" {
+		id = newSessionID()
+	}
+	now := time.Now()
+	sess := &Session{
+		id:        id,
+		created:   now,
+		fw:        fw,
+		epsilon:   eps,
+		alpha:     alpha,
+		mechanism: mechName,
+		events:    specs,
+	}
+	sess.touch(now)
+	if err := s.mgr.Put(sess); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// Step enqueues one step on a session and waits for its certified
+// release. FIFO order among concurrent Step calls on the same session is
+// the order their enqueues linearise in; the HTTP layer and the batch
+// endpoint preserve their own arrival order.
+func (s *Server) Step(id string, loc int) (core.StepResult, error) {
+	done, err := s.stepAsync(id, loc)
+	if err != nil {
+		return core.StepResult{}, err
+	}
+	out := <-done
+	return out.res, out.err
+}
+
+// stepAsync enqueues one step and returns the completion channel.
+func (s *Server) stepAsync(id string, loc int) (chan stepOutcome, error) {
+	sess, ok := s.mgr.Get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j := stepJob{loc: loc, done: make(chan stepOutcome, 1)}
+	wake, err := sess.enqueue(j, s.cfg.QueueDepth)
+	if err != nil {
+		if err == ErrQueueFull {
+			s.metrics.queueRejections.Add(1)
+		}
+		return nil, err
+	}
+	sess.touch(time.Now())
+	if wake {
+		s.pool.schedule(sess)
+	}
+	return j.done, nil
+}
+
+// DeleteSession removes and closes a session.
+func (s *Server) DeleteSession(id string) bool { return s.mgr.Remove(id) }
+
+// SessionInfo reports a session's public state.
+func (s *Server) SessionInfo(id string) (SessionInfo, error) {
+	sess, ok := s.mgr.Get(id)
+	if !ok {
+		return SessionInfo{}, ErrNotFound
+	}
+	return sessionInfo(sess), nil
+}
+
+func sessionInfo(s *Session) SessionInfo {
+	return SessionInfo{
+		ID:        s.id,
+		T:         int(s.steps.Load()),
+		Epsilon:   s.epsilon,
+		Alpha:     s.alpha,
+		Mechanism: s.mechanism,
+		Events:    s.events,
+		Created:   s.created,
+		LastUsed:  time.Unix(0, s.lastUsed.Load()),
+		Queued:    s.queued(),
+	}
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"priste/internal/core"
+)
+
+// Sentinel errors surfaced by the session layer; the HTTP layer maps them
+// onto status codes (see httpStatus).
+var (
+	// ErrQueueFull reports backpressure: the session's pending-step queue
+	// is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("server: session step queue full")
+	// ErrSessionClosed reports a step enqueued on (or pending in) a
+	// session that was deleted or evicted (HTTP 410).
+	ErrSessionClosed = errors.New("server: session closed")
+	// ErrSessionExists reports a create with an already-live explicit id
+	// (HTTP 409).
+	ErrSessionExists = errors.New("server: session id already exists")
+	// ErrNotFound reports an unknown session id (HTTP 404).
+	ErrNotFound = errors.New("server: session not found")
+)
+
+// stepJob is one pending Step call; done is buffered (cap 1) so the worker
+// never blocks on a slow or departed client.
+type stepJob struct {
+	loc  int
+	done chan stepOutcome
+}
+
+type stepOutcome struct {
+	res core.StepResult
+	err error
+}
+
+// Session is one user's live privacy session: a core.Framework with its
+// own RNG, mechanism and event set, plus a bounded FIFO queue of pending
+// steps. The framework is single-writer: only the worker currently
+// holding the session's scheduled token touches fw, so per-session step
+// order is exactly enqueue order while different sessions step in
+// parallel.
+type Session struct {
+	id      string
+	created time.Time
+
+	// lastUsed is unix nanoseconds of the latest enqueue or completed
+	// step; the TTL sweeper and LRU evictor read it without locking.
+	lastUsed atomic.Int64
+	// steps counts completed Step calls; equals the framework's next
+	// timestamp and is safe to read outside the worker.
+	steps atomic.Int64
+
+	mu        sync.Mutex
+	queue     []stepJob
+	scheduled bool
+	closed    bool
+
+	// Single-writer state: guarded by the scheduled token, not mu.
+	fw *core.Framework
+
+	// Immutable session metadata for GET /v1/sessions/{id}.
+	epsilon   float64
+	alpha     float64
+	mechanism string
+	events    []string
+}
+
+// newSessionID returns a 128-bit random hex id.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// randomSeed draws a non-negative session RNG seed from crypto/rand.
+func randomSeed() int64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: crypto/rand unavailable: " + err.Error())
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]) >> 1)
+}
+
+func (s *Session) touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
+
+// enqueue appends one step to the session's FIFO queue and hands the
+// session to the pool if it is not already scheduled. maxQueue bounds the
+// pending queue (backpressure).
+func (s *Session) enqueue(j stepJob, maxQueue int) (wake bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrSessionClosed
+	}
+	if len(s.queue) >= maxQueue {
+		return false, ErrQueueFull
+	}
+	s.queue = append(s.queue, j)
+	if !s.scheduled {
+		s.scheduled = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// pop removes the head of the queue, or clears the scheduled token when
+// the queue is drained. Called only by the worker holding the token.
+func (s *Session) pop() (stepJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 || s.closed {
+		s.scheduled = false
+		return stepJob{}, false
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	return j, true
+}
+
+// close marks the session dead and fails every pending job. Queue
+// ownership is serialised by mu, so each job receives exactly one
+// outcome: either here or from the worker that popped it earlier.
+func (s *Session) close() {
+	s.mu.Lock()
+	s.closed = true
+	pending := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	for _, j := range pending {
+		j.done <- stepOutcome{err: ErrSessionClosed}
+	}
+}
+
+// queued returns the number of pending steps.
+func (s *Session) queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

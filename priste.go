@@ -42,10 +42,12 @@ package priste
 import (
 	"io"
 	"math/rand"
+	"net/http"
 
 	"priste/internal/attack"
 	"priste/internal/core"
 	"priste/internal/event"
+	"priste/internal/eventspec"
 	"priste/internal/geolife"
 	"priste/internal/grid"
 	"priste/internal/hmm"
@@ -53,6 +55,7 @@ import (
 	"priste/internal/markov"
 	"priste/internal/mat"
 	"priste/internal/qp"
+	"priste/internal/server"
 	"priste/internal/trace"
 	"priste/internal/world"
 )
@@ -260,6 +263,50 @@ func DefaultConfig(epsilon, alpha float64) Config { return core.DefaultConfig(ep
 // NewFramework builds a release loop protecting the given events.
 func NewFramework(mech Mechanism, tp TransitionProvider, events []Event, cfg Config, rng *rand.Rand) (*Framework, error) {
 	return core.New(mech, tp, events, cfg, rng)
+}
+
+// ParseEventSpec parses a compact "LO-HI@START-END" PRESENCE spec (the
+// syntax of cmd/priste and the pristed API) over an m-state map. A
+// non-positive horizon disables the window bound.
+func ParseEventSpec(spec string, m, horizon int) (Event, error) {
+	return eventspec.Parse(spec, m, horizon)
+}
+
+// Serving (cmd/pristed): a concurrent multi-user release service managing
+// one privacy session — a Framework with its own RNG, mechanism and event
+// set — per user, behind an HTTP/JSON API.
+type (
+	// Server is the multi-user release service.
+	Server = server.Server
+	// ServerConfig tunes the service: world model, privacy defaults and
+	// limits (session cap, idle TTL, worker pool, queue depth).
+	ServerConfig = server.Config
+	// ServerClient is the typed client for the pristed HTTP API.
+	ServerClient = server.Client
+	// SessionInfo is a session's public state.
+	SessionInfo = server.SessionInfo
+	// CreateSessionRequest opens a per-user session.
+	CreateSessionRequest = server.CreateSessionRequest
+	// StepResponse is one certified release from the service API.
+	StepResponse = server.StepResponse
+	// BatchStepItem is one entry of the multi-user batch endpoint.
+	BatchStepItem = server.BatchStepItem
+	// ServerStats is the /statsz counter snapshot.
+	ServerStats = server.Stats
+)
+
+// DefaultServerConfig returns the pristed defaults (10×10 map,
+// geo-indistinguishability, ε=0.5).
+func DefaultServerConfig() ServerConfig { return server.DefaultConfig() }
+
+// NewServer starts a release service (worker pool and idle-session
+// janitor included); release it with Close.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewServerClient returns a typed client for the pristed instance at
+// baseURL; httpClient nil uses http.DefaultClient.
+func NewServerClient(baseURL string, httpClient *http.Client) *ServerClient {
+	return server.NewClient(baseURL, httpClient)
 }
 
 // Inference extras.

@@ -138,6 +138,73 @@ func BenchmarkTableIII(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedPlanManySessions measures the plan/state split on the
+// engine hot path: many sessions share one compiled plan (one world
+// model, one emission table) and step seeded random walks, with the
+// certified-release cache off vs on. Sessions are recycled at a short
+// horizon with stable seeds — the serving pattern of many short-lived
+// users over one deployment — so with the cache on, sibling sessions
+// reuse each other's certified verdicts instead of re-solving the QPs.
+func BenchmarkSharedPlanManySessions(b *testing.B) {
+	const (
+		sessions = 32
+		horizon  = 8
+	)
+	g, err := priste.NewGrid(6, 6, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := priste.GaussianChain(g, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := priste.ParseEventSpec("0-5@2-4", g.States(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := priste.DefaultConfig(0.5, 1.0)
+	cfg.QPTimeout = 0
+	// Fixed per-session trajectories so cache-on and cache-off do the
+	// same releases.
+	trajs := make([][]int, sessions)
+	for i := range trajs {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		trajs[i] = chain.SamplePath(rng, priste.UniformDistribution(g.States()), horizon)
+	}
+	for _, mode := range []struct {
+		name  string
+		cache bool
+	}{{"cache=off", false}, {"cache=on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			plan, err := priste.NewPlan(priste.SharedMechanism(priste.NewPlanarLaplace(g)),
+				priste.Homogeneous(chain), []priste.Event{ev}, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode.cache {
+				plan.EnableCache(priste.NewCertCache(1 << 16))
+			}
+			fws := make([]*priste.Framework, sessions)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				i := n % sessions
+				if fws[i] == nil || fws[i].T() == horizon {
+					fw, err := plan.NewSession(rand.New(rand.NewSource(int64(1 + i))))
+					if err != nil {
+						b.Fatal(err)
+					}
+					fws[i] = fw
+				}
+				if _, err := fws[i].Step(trajs[i][fws[i].T()]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+		})
+	}
+}
+
 // BenchmarkServerStep measures serving-path throughput: parallel goroutines
 // each own one pristed session over the in-process HTTP API and step a
 // random walk; one iteration is one certified release round-trip.

@@ -9,7 +9,8 @@
 //
 //	pristed [-addr :8377] [-grid 10] [-cell 1.0] [-sigma 1.0] \
 //	    [-eps 0.5] [-alpha 1.0] [-delta -1] [-event "0-9@3-7"]... \
-//	    [-max-sessions 4096] [-session-ttl 15m] [-workers 0] [-queue 64]
+//	    [-max-sessions 4096] [-session-ttl 15m] [-workers 0] [-queue 64] \
+//	    [-cert-cache 65536]
 //
 // API:
 //
@@ -53,6 +54,7 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle-session eviction TTL; negative disables")
 		workers     = flag.Int("workers", 0, "step worker pool size; 0 = GOMAXPROCS")
 		queue       = flag.Int("queue", server.DefaultQueueDepth, "per-session pending-step queue depth")
+		certCache   = flag.Int("cert-cache", server.DefaultCertCacheSize, "certified-release cache capacity in entries, shared across sessions; 0 disables")
 	)
 	flag.Var(&events, "event", `default PRESENCE spec "LO-HI@START-END" (repeatable)`)
 	flag.Parse()
@@ -76,6 +78,11 @@ func main() {
 	cfg.SessionTTL = *sessionTTL
 	cfg.Workers = *workers
 	cfg.QueueDepth = *queue
+	if *certCache <= 0 {
+		cfg.CertCacheSize = -1 // disable
+	} else {
+		cfg.CertCacheSize = *certCache
+	}
 	if *delta >= 0 {
 		cfg.Mechanism = server.MechanismDelta
 		cfg.Delta = *delta

@@ -1,0 +1,107 @@
+package certcache
+
+import (
+	"sync"
+	"testing"
+
+	"priste/internal/qp"
+)
+
+func okDecision() qp.ReleaseDecision {
+	return qp.ReleaseDecision{
+		OK:   true,
+		Eq15: qp.Result{Verdict: qp.Satisfied},
+		Eq16: qp.Result{Verdict: qp.Satisfied},
+	}
+}
+
+func violatedDecision() qp.ReleaseDecision {
+	return qp.ReleaseDecision{
+		Eq15: qp.Result{Verdict: qp.Violated},
+		Eq16: qp.Result{Verdict: qp.Satisfied},
+	}
+}
+
+func TestGetPut(t *testing.T) {
+	c := New(1024)
+	k := Key{Plan: 1, Event: 0, T: 3, History: 42, AlphaBits: 7, Obs: 5}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, okDecision())
+	dec, ok := c.Get(k)
+	if !ok || !dec.OK {
+		t.Fatalf("lost stored decision: ok=%v dec=%+v", ok, dec)
+	}
+	// A differing field in the key must miss.
+	for _, other := range []Key{
+		{Plan: 2, Event: 0, T: 3, History: 42, AlphaBits: 7, Obs: 5},
+		{Plan: 1, Event: 1, T: 3, History: 42, AlphaBits: 7, Obs: 5},
+		{Plan: 1, Event: 0, T: 4, History: 42, AlphaBits: 7, Obs: 5},
+		{Plan: 1, Event: 0, T: 3, History: 43, AlphaBits: 7, Obs: 5},
+		{Plan: 1, Event: 0, T: 3, History: 42, AlphaBits: 8, Obs: 5},
+		{Plan: 1, Event: 0, T: 3, History: 42, AlphaBits: 7, Obs: 6},
+	} {
+		if _, ok := c.Get(other); ok {
+			t.Fatalf("key %+v unexpectedly hit", other)
+		}
+	}
+	c.Put(k, violatedDecision())
+	if dec, _ := c.Get(k); dec.OK {
+		t.Fatal("overwrite did not take")
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Hits < 2 || st.Misses < 7 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestUnknownRejected(t *testing.T) {
+	c := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conservative decision accepted")
+		}
+	}()
+	c.Put(Key{}, qp.ReleaseDecision{
+		Conservative: true,
+		Eq15:         qp.Result{Verdict: qp.Unknown},
+		Eq16:         qp.Result{Verdict: qp.Unknown},
+	})
+}
+
+func TestBoundedLRU(t *testing.T) {
+	// numShards entries per shard max → capacity numShards means one per
+	// shard; flooding far beyond capacity must evict, not grow.
+	c := New(numShards)
+	const n = 10 * numShards
+	for i := 0; i < n; i++ {
+		c.Put(Key{Plan: uint64(i)}, okDecision())
+	}
+	if got := c.Len(); got > numShards {
+		t.Fatalf("cache grew to %d entries, capacity %d", got, numShards)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key{Plan: uint64(i % 64), T: g}
+				c.Put(k, okDecision())
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Fatal("empty after concurrent fills")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"time"
 
+	"priste/internal/certcache"
 	"priste/internal/event"
 	"priste/internal/lppm"
 	"priste/internal/mat"
@@ -102,68 +103,48 @@ type StepResult struct {
 	CheckTime time.Duration
 }
 
-// Framework is the PriSTE release loop protecting one or more
-// spatiotemporal events simultaneously (Fig. 9 protects two).
+// Framework is the per-session half of the PriSTE release loop: the
+// session's RNG, its mechanism state, one streaming quantifier per
+// protected event, and the next timestamp. Everything immutable — the
+// validated configuration, compiled world models, uniform-fallback
+// structures and (for history-independent mechanisms) the shared emission
+// table and certified-release cache — lives in the Plan, so any number of
+// sessions over identical parameters share one Plan via Plan.NewSession.
 type Framework struct {
+	plan   *Plan
 	mech   lppm.Perturber
 	quants []*world.Quantifier
-	events []event.Event
-	cfg    Config
 	rng    *rand.Rand
-
-	m          int
-	uniformCol mat.Vector
-	uniformEm  *mat.Matrix
-	t          int
+	t      int
 }
 
-// New builds a framework protecting the given events under the supplied
-// mobility model. The transition provider is shared across events.
+// New builds a single-session framework protecting the given events under
+// the supplied mobility model: a Plan compiled for this one call plus one
+// session over it. The transition provider is shared across events.
+// Callers serving many sessions with identical parameters should build
+// one Plan with NewPlan and mint sessions with Plan.NewSession instead.
 func New(mech lppm.Perturber, tp world.TransitionProvider, events []event.Event, cfg Config, rng *rand.Rand) (*Framework, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if len(events) == 0 {
-		return nil, fmt.Errorf("core: at least one event is required")
-	}
-	if mech.States() != tp.States() {
-		return nil, fmt.Errorf("core: mechanism has %d states, chain has %d", mech.States(), tp.States())
+	if mech == nil {
+		return nil, fmt.Errorf("core: nil mechanism")
 	}
 	if rng == nil {
 		return nil, fmt.Errorf("core: nil rng")
 	}
-	cfg = cfg.withDefaults()
-	f := &Framework{
-		mech:   mech,
-		events: events,
-		cfg:    cfg,
-		rng:    rng,
-		m:      mech.States(),
+	p, err := NewPlan(SharedMechanism(mech), tp, events, cfg)
+	if err != nil {
+		return nil, err
 	}
-	for _, ev := range events {
-		md, err := world.NewModel(tp, ev)
-		if err != nil {
-			return nil, fmt.Errorf("core: event %v: %w", ev, err)
-		}
-		f.quants = append(f.quants, world.NewQuantifier(md))
-	}
-	f.uniformCol = mat.NewVector(f.m)
-	f.uniformEm = mat.NewMatrix(f.m, f.m)
-	for i := 0; i < f.m; i++ {
-		f.uniformCol[i] = 1 / float64(f.m)
-		row := f.uniformEm.Row(i)
-		for j := range row {
-			row[j] = 1 / float64(f.m)
-		}
-	}
-	return f, nil
+	return p.NewSession(rng)
 }
 
 // T returns the next timestamp to be released.
 func (f *Framework) T() int { return f.t }
 
+// Plan returns the shared immutable plan backing this session.
+func (f *Framework) Plan() *Plan { return f.plan }
+
 // Events returns the protected events.
-func (f *Framework) Events() []event.Event { return f.events }
+func (f *Framework) Events() []event.Event { return f.plan.events }
 
 // Step perturbs and releases one true location (the body of Algorithm 1):
 // draw a candidate from the LPPM, certify the Theorem IV.1 conditions for
@@ -173,20 +154,21 @@ func (f *Framework) Events() []event.Event { return f.events }
 // condition values scale by a positive constant, so certified conditions
 // remain certified.
 func (f *Framework) Step(trueLoc int) (StepResult, error) {
-	if trueLoc < 0 || trueLoc >= f.m {
-		return StepResult{}, fmt.Errorf("core: true location %d outside [0,%d)", trueLoc, f.m)
+	cfg := f.plan.cfg
+	if trueLoc < 0 || trueLoc >= f.plan.m {
+		return StepResult{}, fmt.Errorf("core: true location %d outside [0,%d)", trueLoc, f.plan.m)
 	}
 	t := f.t
 	if err := f.mech.Begin(t); err != nil {
 		return StepResult{}, fmt.Errorf("core: mechanism Begin(%d): %w", t, err)
 	}
 	res := StepResult{T: t}
-	alpha := f.cfg.Alpha
+	alpha := cfg.Alpha
 	relOpts := qp.ReleaseOptions{
-		Solver:   qp.Options{Tol: f.cfg.QPTol},
-		Deadline: f.cfg.QPTimeout,
+		Solver:   qp.Options{Tol: cfg.QPTol},
+		Deadline: cfg.QPTimeout,
 	}
-	for attempt := 1; attempt <= f.cfg.MaxAttempts && alpha >= f.cfg.MinAlpha; attempt++ {
+	for attempt := 1; attempt <= cfg.MaxAttempts && alpha >= cfg.MinAlpha; attempt++ {
 		res.Attempts = attempt
 		em, err := f.mech.Emission(alpha)
 		if err != nil {
@@ -197,13 +179,13 @@ func (f *Framework) Step(trueLoc int) (StepResult, error) {
 			return StepResult{}, fmt.Errorf("core: sampling: %w", err)
 		}
 		col := em.Col(obs)
-		ok, conservative, dur, err := f.checkAll(col, relOpts)
+		ok, conservative, dur, err := f.checkAll(t, math.Float64bits(alpha), obs, col, relOpts)
 		res.CheckTime += dur
 		if err != nil {
 			return StepResult{}, err
 		}
 		if ok {
-			if err := f.commit(t, obs, col); err != nil {
+			if err := f.commit(t, obs, math.Float64bits(alpha), col); err != nil {
 				return StepResult{}, err
 			}
 			res.Obs = obs
@@ -213,15 +195,16 @@ func (f *Framework) Step(trueLoc int) (StepResult, error) {
 		if conservative {
 			res.ConservativeRejections++
 		}
-		alpha *= f.cfg.Decay
+		alpha *= cfg.Decay
 	}
 	// Uniform fallback: α → 0 releases no information about the true
-	// location (§IV-C).
-	obs, err := lppm.SampleRow(f.rng, f.uniformEm, trueLoc)
+	// location (§IV-C). Its release tag is alphaBits 0, which no genuine
+	// budget produces (budgets are strictly positive).
+	obs, err := lppm.SampleRow(f.rng, f.plan.uniformEm, trueLoc)
 	if err != nil {
 		return StepResult{}, err
 	}
-	if err := f.commit(t, obs, f.uniformCol); err != nil {
+	if err := f.commit(t, obs, 0, f.plan.uniformCol); err != nil {
 		return StepResult{}, err
 	}
 	res.Obs = obs
@@ -231,19 +214,47 @@ func (f *Framework) Step(trueLoc int) (StepResult, error) {
 	return res, nil
 }
 
-// checkAll certifies the conditions for every protected event.
-func (f *Framework) checkAll(col mat.Vector, opts qp.ReleaseOptions) (ok, conservative bool, dur time.Duration, err error) {
+// checkAll certifies the conditions for every protected event. When the
+// plan carries a certified-release cache (history-independent mechanisms
+// only), each per-event check is first looked up by (plan, event,
+// timestamp, committed history fingerprint, candidate alphaBits, obs); a
+// hit skips both the quantifier forward pass and the QP solves. Verdicts
+// containing Unknown are never stored — they encode an expired time
+// budget, not a property of the release — so with no QP deadline a
+// cache-backed run is decision-for-decision identical to an uncached one.
+func (f *Framework) checkAll(t int, alphaBits uint64, obs int, col mat.Vector, opts qp.ReleaseOptions) (ok, conservative bool, dur time.Duration, err error) {
 	start := time.Now()
 	defer func() { dur = time.Since(start) }()
+	cache := f.plan.cache
 	for i, q := range f.quants {
+		var key certcache.Key
+		if cache != nil {
+			key = certcache.Key{
+				Plan:      f.plan.id,
+				Event:     i,
+				T:         t,
+				History:   q.HistoryFingerprint(),
+				AlphaBits: alphaBits,
+				Obs:       obs,
+			}
+			if dec, hit := cache.Get(key); hit {
+				if !dec.OK {
+					return false, dec.Conservative, 0, nil
+				}
+				continue
+			}
+		}
 		chk, err := q.Check(col)
 		if err != nil {
 			return false, false, 0, fmt.Errorf("core: quantifier %d: %w", i, err)
 		}
-		chk.Epsilon = f.cfg.Epsilon
+		chk.Epsilon = f.plan.cfg.Epsilon
 		dec, err := qp.CheckRelease(chk, opts)
 		if err != nil {
 			return false, false, 0, fmt.Errorf("core: release check %d: %w", i, err)
+		}
+		if cache != nil && dec.Eq15.Verdict != qp.Unknown && dec.Eq16.Verdict != qp.Unknown {
+			cache.Put(key, dec)
 		}
 		if !dec.OK {
 			return false, dec.Conservative, 0, nil
@@ -252,11 +263,12 @@ func (f *Framework) checkAll(col mat.Vector, opts qp.ReleaseOptions) (ok, conser
 	return true, false, 0, nil
 }
 
-// commit folds the released observation into every quantifier and the
-// mechanism state.
-func (f *Framework) commit(t, obs int, col mat.Vector) error {
+// commit folds the released observation into every quantifier (tagged
+// with its (alphaBits, obs) release pair for the history fingerprint) and
+// the mechanism state.
+func (f *Framework) commit(t, obs int, alphaBits uint64, col mat.Vector) error {
 	for i, q := range f.quants {
-		if err := q.Commit(col); err != nil {
+		if err := q.CommitTagged(col, alphaBits, obs); err != nil {
 			return fmt.Errorf("core: commit quantifier %d: %w", i, err)
 		}
 	}

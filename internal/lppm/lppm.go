@@ -40,6 +40,20 @@ type Perturber interface {
 	Observe(t, obs int, col mat.Vector) error
 }
 
+// HistoryIndependent marks a Perturber whose behaviour does not depend on
+// the release history: Begin and Observe are no-ops and Emission is a pure
+// function of the budget. Such a mechanism can be shared by every session
+// of a compiled core.Plan (its Emission must then be safe for concurrent
+// use), and its certified release verdicts are fully determined by the
+// (budget, observation) history — the property the certified-release
+// cache relies on. The δ-location-set mechanism is NOT history-independent
+// (its prior advances on every Begin/Observe) and must stay per-session.
+type HistoryIndependent interface {
+	Perturber
+	// HistoryIndependent is a marker; implementations do nothing.
+	HistoryIndependent()
+}
+
 // SampleRow draws an observation from row u of an emission matrix.
 func SampleRow(rng *rand.Rand, e *mat.Matrix, u int) (int, error) {
 	if u < 0 || u >= e.Rows {
@@ -97,6 +111,9 @@ func (u *Uniform) Emission(float64) (*mat.Matrix, error) { return u.e, nil }
 // Observe implements Perturber.
 func (u *Uniform) Observe(int, int, mat.Vector) error { return nil }
 
+// HistoryIndependent marks the mechanism as history-independent.
+func (u *Uniform) HistoryIndependent() {}
+
 // Identity is the no-privacy mechanism: the true location is released
 // verbatim. Useful as the upper baseline in utility experiments and as a
 // worst case in privacy tests.
@@ -124,6 +141,9 @@ func (id *Identity) Emission(float64) (*mat.Matrix, error) { return id.e, nil }
 
 // Observe implements Perturber.
 func (id *Identity) Observe(int, int, mat.Vector) error { return nil }
+
+// HistoryIndependent marks the mechanism as history-independent.
+func (id *Identity) HistoryIndependent() {}
 
 // clampFinite validates a strictly-positive finite parameter.
 func clampFinite(name string, v float64) error {

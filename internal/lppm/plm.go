@@ -24,26 +24,30 @@ import (
 // rows differ by at most e^{α·d}); the continuous sampler is also provided
 // (SampleContinuous) for applications wanting un-discretised output.
 //
-// Emission matrices are cached per budget because the PriSTE loop
-// repeatedly halves the budget (α, α/2, α/4, …) and revisits the same
-// values across timestamps.
+// Emission matrices are cached per budget in a bounded, concurrency-safe
+// EmissionTable because the PriSTE loop repeatedly halves the budget
+// (α, α/2, α/4, …) and revisits the same values across timestamps — and,
+// when the mechanism is shared by a compiled core.Plan, across sessions.
 type PlanarLaplace struct {
 	g     *grid.Grid
 	dist  *mat.Matrix
-	cache map[float64]*mat.Matrix
+	table *EmissionTable
 }
 
-// maxPLMCache bounds the per-mechanism emission cache. Budget halving
-// produces only a handful of distinct values, so this is generous.
+// maxPLMCache bounds the emission table. Budget halving produces only a
+// handful of distinct values per initial budget, so this is generous even
+// for a deployment mixing several session budgets; LRU eviction keeps the
+// table bounded under adversarially varied budgets.
 const maxPLMCache = 64
 
 // NewPlanarLaplace returns a PLM over the given grid.
 func NewPlanarLaplace(g *grid.Grid) *PlanarLaplace {
-	return &PlanarLaplace{
-		g:     g,
-		dist:  g.DistanceMatrix(),
-		cache: make(map[float64]*mat.Matrix),
+	p := &PlanarLaplace{
+		g:    g,
+		dist: g.DistanceMatrix(),
 	}
+	p.table = NewEmissionTable(maxPLMCache, p.computeEmission)
+	return p
 }
 
 // States implements Perturber.
@@ -58,16 +62,29 @@ func (p *PlanarLaplace) Begin(int) error { return nil }
 // Observe implements Perturber.
 func (p *PlanarLaplace) Observe(int, int, mat.Vector) error { return nil }
 
+// HistoryIndependent marks the mechanism as history-independent: Begin and
+// Observe are no-ops and Emission depends only on the budget, so one
+// instance (and its emission table) can serve every session of a shared
+// plan and certified release verdicts are reusable across sessions.
+func (p *PlanarLaplace) HistoryIndependent() {}
+
+// Table returns the mechanism's emission table (the per-alpha cache shared
+// by every session driving this instance).
+func (p *PlanarLaplace) Table() *EmissionTable { return p.table }
+
 // Emission implements Perturber. A zero or negative alpha is rejected; the
 // α→0 limit (uniform output) should be modelled with the Uniform
-// mechanism.
+// mechanism. Safe for concurrent use by sessions sharing the instance.
 func (p *PlanarLaplace) Emission(alpha float64) (*mat.Matrix, error) {
 	if err := clampFinite("alpha", alpha); err != nil {
 		return nil, err
 	}
-	if e, ok := p.cache[alpha]; ok {
-		return e, nil
-	}
+	return p.table.Get(alpha)
+}
+
+// computeEmission fills one row-normalised exponential-mechanism emission
+// matrix (the table's miss path).
+func (p *PlanarLaplace) computeEmission(alpha float64) (*mat.Matrix, error) {
 	m := p.States()
 	e := mat.NewMatrix(m, m)
 	for i := 0; i < m; i++ {
@@ -77,9 +94,6 @@ func (p *PlanarLaplace) Emission(alpha float64) (*mat.Matrix, error) {
 			row[j] = math.Exp(-alpha * drow[j])
 		}
 		row.Normalize()
-	}
-	if len(p.cache) < maxPLMCache {
-		p.cache[alpha] = e
 	}
 	return e, nil
 }

@@ -1,0 +1,105 @@
+package lppm
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+
+	"priste/internal/mat"
+)
+
+// EmissionTable is a bounded, concurrency-safe per-budget emission-matrix
+// cache. History-independent mechanisms (see HistoryIndependent) compute
+// the same emission matrix for a given budget at every timestamp and in
+// every session, so one table can back an arbitrary number of sessions
+// sharing a compiled plan: the PriSTE release loop repeatedly halves the
+// budget (α, α/2, α/4, …) and revisits the same handful of values, and
+// with a shared table each value is materialised once per deployment
+// instead of once per session.
+//
+// Eviction is LRU on the budget key, so a deployment serving varied
+// budgets stays bounded instead of growing one matrix per distinct value.
+type EmissionTable struct {
+	compute func(alpha float64) (*mat.Matrix, error)
+	max     int
+
+	mu      sync.Mutex
+	ll      *list.List // most recently used at the front
+	entries map[uint64]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type tableEntry struct {
+	key uint64
+	em  *mat.Matrix
+}
+
+// NewEmissionTable returns a table bounded to max entries, filling misses
+// with compute. max must be positive.
+func NewEmissionTable(max int, compute func(alpha float64) (*mat.Matrix, error)) *EmissionTable {
+	if max <= 0 {
+		panic(fmt.Sprintf("lppm: emission table capacity %d must be positive", max))
+	}
+	return &EmissionTable{
+		compute: compute,
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[uint64]*list.Element, max),
+	}
+}
+
+// Get returns the emission matrix for the given budget, computing and
+// retaining it on a miss. The returned matrix is shared: callers must not
+// mutate it. Safe for concurrent use.
+func (t *EmissionTable) Get(alpha float64) (*mat.Matrix, error) {
+	key := math.Float64bits(alpha)
+	t.mu.Lock()
+	if el, ok := t.entries[key]; ok {
+		t.ll.MoveToFront(el)
+		t.hits++
+		em := el.Value.(*tableEntry).em
+		t.mu.Unlock()
+		return em, nil
+	}
+	t.misses++
+	t.mu.Unlock()
+
+	// Compute outside the lock so cache hits from other sessions are not
+	// blocked behind an O(m²) fill; a racing fill of the same budget is
+	// resolved by the re-check below (one of the two results is dropped).
+	em, err := t.compute(alpha)
+	if err != nil {
+		return nil, err
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.entries[key]; ok {
+		t.ll.MoveToFront(el)
+		return el.Value.(*tableEntry).em, nil
+	}
+	t.entries[key] = t.ll.PushFront(&tableEntry{key: key, em: em})
+	for len(t.entries) > t.max {
+		back := t.ll.Back()
+		t.ll.Remove(back)
+		delete(t.entries, back.Value.(*tableEntry).key)
+		t.evictions++
+	}
+	return em, nil
+}
+
+// Len returns the number of retained matrices.
+func (t *EmissionTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Stats returns the lifetime hit/miss/eviction counters.
+func (t *EmissionTable) Stats() (hits, misses, evictions uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, t.misses, t.evictions
+}

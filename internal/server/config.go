@@ -12,6 +12,9 @@ const (
 	DefaultMaxSessions = 4096
 	DefaultSessionTTL  = 15 * time.Minute
 	DefaultQueueDepth  = 64
+	// DefaultCertCacheSize bounds the shared certified-release cache
+	// (entries across all shards).
+	DefaultCertCacheSize = 1 << 16
 )
 
 // Config describes one pristed deployment: the shared world model every
@@ -58,6 +61,11 @@ type Config struct {
 	// a full queue fails with ErrQueueFull (HTTP 429). Default
 	// DefaultQueueDepth.
 	QueueDepth int
+	// CertCacheSize bounds the certified-release cache shared by every
+	// session whose mechanism is history-independent (entries). Zero uses
+	// DefaultCertCacheSize; negative disables the cache (every release
+	// condition is re-solved).
+	CertCacheSize int
 }
 
 // Mechanism names accepted by Config and session-creation requests.
@@ -96,6 +104,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.CertCacheSize == 0 {
+		c.CertCacheSize = DefaultCertCacheSize
 	}
 	if c.Mechanism == "" {
 		c.Mechanism = MechanismLaplace

@@ -71,9 +71,23 @@ func (m *Metrics) quantiles() (p50, p99 time.Duration, samples int64) {
 
 // Stats is the JSON document served at /statsz.
 type Stats struct {
-	Sessions SessionStats `json:"sessions"`
-	Steps    StepStats    `json:"steps"`
-	Latency  LatencyStats `json:"latency"`
+	Sessions  SessionStats   `json:"sessions"`
+	Steps     StepStats      `json:"steps"`
+	Latency   LatencyStats   `json:"latency"`
+	Plans     PlanStats      `json:"plans"`
+	CertCache CertCacheStats `json:"cert_cache"`
+}
+
+// CertCacheStats is the /statsz certified-release cache section. HitRate
+// is hits/(hits+misses) over the cache lifetime; all-zero with Enabled
+// false when the cache is disabled.
+type CertCacheStats struct {
+	Enabled   bool    `json:"enabled"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int64   `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // SessionStats counts session lifecycle events.

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"priste/internal/certcache"
 	"priste/internal/core"
 	"priste/internal/eventspec"
 	"priste/internal/grid"
@@ -24,17 +25,19 @@ import (
 )
 
 // Server is one pristed instance: the shared world model (grid, mobility
-// chain), the session registry, the step worker pool, and the service
+// chain), the plan registry deduplicating compiled engines across
+// sessions, the session registry, the step worker pool, and the service
 // counters. Create with New, expose with Handler, release with Close.
 type Server struct {
-	cfg     Config
-	g       *grid.Grid
-	chain   *markov.Chain
-	tp      world.TransitionProvider
-	pi      mat.Vector
-	mgr     *Manager
-	pool    *pool
-	metrics *Metrics
+	cfg      Config
+	g        *grid.Grid
+	chain    *markov.Chain
+	tp       world.TransitionProvider
+	pi       mat.Vector
+	mgr      *Manager
+	registry *PlanRegistry
+	pool     *pool
+	metrics  *Metrics
 
 	janitorQuit chan struct{}
 	janitorWG   sync.WaitGroup
@@ -66,6 +69,10 @@ func New(cfg Config) (*Server, error) {
 	if workers < 0 {
 		workers = 0
 	}
+	var cache *certcache.Cache
+	if cfg.CertCacheSize > 0 {
+		cache = certcache.New(cfg.CertCacheSize)
+	}
 	s := &Server{
 		cfg:         cfg,
 		g:           g,
@@ -73,6 +80,7 @@ func New(cfg Config) (*Server, error) {
 		tp:          world.NewHomogeneous(chain),
 		pi:          markov.Uniform(g.States()),
 		mgr:         newManager(cfg.MaxSessions, cfg.SessionTTL, metrics),
+		registry:    newPlanRegistry(cache),
 		pool:        newPool(workers, cfg.MaxSessions, metrics),
 		metrics:     metrics,
 		janitorQuit: make(chan struct{}),
@@ -112,6 +120,30 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Sessions returns the session registry.
 func (s *Server) Sessions() *Manager { return s.mgr }
 
+// Plans returns the plan registry.
+func (s *Server) Plans() *PlanRegistry { return s.registry }
+
+// Stats returns the full /statsz document: service counters plus the
+// plan-registry and certified-release cache sections.
+func (s *Server) Stats() Stats {
+	st := s.metrics.Snapshot()
+	st.Plans = s.registry.Stats()
+	if c := s.registry.Cache(); c != nil {
+		cs := c.Stats()
+		st.CertCache = CertCacheStats{
+			Enabled:   true,
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			Entries:   cs.Entries,
+		}
+		if total := cs.Hits + cs.Misses; total > 0 {
+			st.CertCache.HitRate = float64(cs.Hits) / float64(total)
+		}
+	}
+	return st
+}
+
 // Close stops the janitor, closes every session (failing pending steps
 // with ErrSessionClosed) and stops the worker pool. Safe to call more
 // than once.
@@ -125,8 +157,11 @@ func (s *Server) Close() {
 }
 
 // CreateSession builds and registers a session from a creation request,
-// applying the server's privacy defaults for absent fields. At capacity
-// the least recently used session is evicted to make room.
+// applying the server's privacy defaults for absent fields. The compiled
+// engine is shared: sessions whose canonical parameters (ε, α, mechanism,
+// δ, protected events) match an existing plan reuse it — only the RNG,
+// quantifier state and (for δ) mechanism state are per-session. At
+// capacity the least recently used session is evicted to make room.
 func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
 	m := s.g.States()
 	eps := req.Epsilon
@@ -150,21 +185,36 @@ func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
 		return nil, err
 	}
 
-	var mech lppm.Perturber
+	delta := 0.0
+	var mf core.MechanismFactory
 	switch mechName {
 	case MechanismLaplace:
-		mech = lppm.NewPlanarLaplace(s.g)
+		mf = func() (lppm.Perturber, error) { return lppm.NewPlanarLaplace(s.g), nil }
 	case MechanismDelta:
-		delta := s.cfg.Delta
+		delta = s.cfg.Delta
 		if req.Delta != nil {
 			delta = *req.Delta
 		}
-		mech, err = lppm.NewDeltaLocationSet(s.g, s.chain, s.pi, delta)
-		if err != nil {
-			return nil, err
-		}
+		d := delta
+		mf = func() (lppm.Perturber, error) { return lppm.NewDeltaLocationSet(s.g, s.chain, s.pi, d) }
 	default:
 		return nil, fmt.Errorf("server: unknown mechanism %q (want %q or %q)", mechName, MechanismLaplace, MechanismDelta)
+	}
+
+	key := planKey{
+		epsilon:   eps,
+		alpha:     alpha,
+		mechanism: mechName,
+		delta:     delta,
+		events:    canonicalEvents(events),
+	}
+	plan, err := s.registry.lookup(key, func() (*core.Plan, error) {
+		coreCfg := core.DefaultConfig(eps, alpha)
+		coreCfg.QPTimeout = s.cfg.QPTimeout
+		return core.NewPlan(mf, s.tp, events, coreCfg)
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	var seed int64
@@ -173,9 +223,7 @@ func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
 	} else {
 		seed = randomSeed()
 	}
-	coreCfg := core.DefaultConfig(eps, alpha)
-	coreCfg.QPTimeout = s.cfg.QPTimeout
-	fw, err := core.New(mech, s.tp, events, coreCfg, rand.New(rand.NewSource(seed)))
+	fw, err := plan.NewSession(rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,11 @@ type Quantifier struct {
 
 	logScale float64
 
+	// fp is the rolling FNV-1a fingerprint of the committed release tags
+	// (see CommitTagged); it identifies the committed-column history for
+	// the certified-release cache.
+	fp uint64
+
 	atilde mat.Vector
 
 	// scratch
@@ -46,6 +51,7 @@ func NewQuantifier(md *Model) *Quantifier {
 	m := md.m
 	return &Quantifier{
 		md:      md,
+		fp:      fpOffset,
 		af:      mat.NewMatrix(m, m),
 		at:      mat.NewMatrix(m, m),
 		b1:      mat.Identity(m),
@@ -187,6 +193,42 @@ func (q *Quantifier) Commit(emis mat.Vector) error {
 	}
 	q.t++
 	q.renormalise()
+	return nil
+}
+
+// FNV-1a parameters for the rolling history fingerprint.
+const (
+	fpOffset uint64 = 14695981039346656037
+	fpPrime  uint64 = 1099511628211
+)
+
+// fpFold mixes one 64-bit word into the fingerprint byte-wise.
+func fpFold(fp, word uint64) uint64 {
+	for shift := 0; shift < 64; shift += 8 {
+		fp ^= (word >> shift) & 0xff
+		fp *= fpPrime
+	}
+	return fp
+}
+
+// HistoryFingerprint returns the rolling fingerprint of the release tags
+// committed via CommitTagged. For a history-independent mechanism the tag
+// sequence — (alphaBits, obs) per timestamp, alphaBits 0 for the uniform
+// fallback — fully determines every committed emission column, so two
+// quantifiers over the same model with equal fingerprints are (modulo a
+// negligible 64-bit collision probability) in identical states. Commits
+// made with plain Commit leave the fingerprint unchanged and make it
+// meaningless; cache users must commit exclusively through CommitTagged.
+func (q *Quantifier) HistoryFingerprint() uint64 { return q.fp }
+
+// CommitTagged commits the released observation's emission column (as
+// Commit) and folds its (alphaBits, obs) release tag into the rolling
+// history fingerprint consumed by the certified-release cache.
+func (q *Quantifier) CommitTagged(emis mat.Vector, alphaBits uint64, obs int) error {
+	if err := q.Commit(emis); err != nil {
+		return err
+	}
+	q.fp = fpFold(fpFold(q.fp, alphaBits), uint64(obs))
 	return nil
 }
 

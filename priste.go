@@ -45,6 +45,7 @@ import (
 	"net/http"
 
 	"priste/internal/attack"
+	"priste/internal/certcache"
 	"priste/internal/core"
 	"priste/internal/event"
 	"priste/internal/eventspec"
@@ -264,6 +265,38 @@ func DefaultConfig(epsilon, alpha float64) Config { return core.DefaultConfig(ep
 func NewFramework(mech Mechanism, tp TransitionProvider, events []Event, cfg Config, rng *rand.Rand) (*Framework, error) {
 	return core.New(mech, tp, events, cfg, rng)
 }
+
+// Plan/state split: a Plan is the immutable, shareable half of the engine
+// (validated config, compiled world models, uniform fallback, and — for
+// history-independent mechanisms — one shared emission table and an
+// optional certified-release cache); Plan.NewSession mints lightweight
+// per-session Frameworks over it.
+type (
+	// Plan is the immutable compiled engine shared by many sessions.
+	Plan = core.Plan
+	// MechanismFactory builds one per-session mechanism instance.
+	MechanismFactory = core.MechanismFactory
+	// CertCache is the sharded, bounded-LRU certified-release cache.
+	CertCache = certcache.Cache
+	// CertCacheKey identifies one cached release check.
+	CertCacheKey = certcache.Key
+	// CertCacheStats is a point-in-time view of the cache counters.
+	CertCacheStats = certcache.Stats
+)
+
+// NewPlan compiles the world models for the given events once, for any
+// number of sessions (Plan.NewSession).
+func NewPlan(mf MechanismFactory, tp TransitionProvider, events []Event, cfg Config) (*Plan, error) {
+	return core.NewPlan(mf, tp, events, cfg)
+}
+
+// SharedMechanism adapts one history-independent mechanism instance into
+// a factory handing it to every session of a plan.
+func SharedMechanism(mech Mechanism) MechanismFactory { return core.SharedMechanism(mech) }
+
+// NewCertCache returns a certified-release cache bounded to roughly
+// capacity decisions; attach it with Plan.EnableCache.
+func NewCertCache(capacity int) *CertCache { return certcache.New(capacity) }
 
 // ParseEventSpec parses a compact "LO-HI@START-END" PRESENCE spec (the
 // syntax of cmd/priste and the pristed API) over an m-state map. A

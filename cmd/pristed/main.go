@@ -10,7 +10,16 @@
 //	pristed [-addr :8377] [-grid 10] [-cell 1.0] [-sigma 1.0] \
 //	    [-eps 0.5] [-alpha 1.0] [-delta -1] [-event "0-9@3-7"]... \
 //	    [-max-sessions 4096] [-session-ttl 15m] [-workers 0] [-queue 64] \
-//	    [-cert-cache 65536]
+//	    [-cert-cache 65536] \
+//	    [-store-dir /var/lib/pristed] [-fsync] [-snapshot-every 256]
+//
+// With -store-dir set, every committed release is journaled to a
+// per-session write-ahead log before it is acknowledged, WALs are
+// compacted into snapshots every -snapshot-every steps, and a restarted
+// daemon rehydrates all surviving sessions (and the certified-release
+// cache) from the directory. -fsync additionally syncs each append to
+// stable storage. On SIGTERM the daemon drains pending steps, flushes
+// final snapshots and only then exits.
 //
 // API:
 //
@@ -37,6 +46,7 @@ import (
 
 	"priste/internal/eventspec"
 	"priste/internal/server"
+	"priste/internal/store"
 )
 
 func main() {
@@ -55,6 +65,9 @@ func main() {
 		workers     = flag.Int("workers", 0, "step worker pool size; 0 = GOMAXPROCS")
 		queue       = flag.Int("queue", server.DefaultQueueDepth, "per-session pending-step queue depth")
 		certCache   = flag.Int("cert-cache", server.DefaultCertCacheSize, "certified-release cache capacity in entries, shared across sessions; 0 disables")
+		storeDir    = flag.String("store-dir", "", "session durability directory (WAL + snapshots); empty = in-memory only")
+		fsync       = flag.Bool("fsync", false, "fsync every WAL append before acknowledging the step (requires -store-dir)")
+		snapEvery   = flag.Int("snapshot-every", server.DefaultSnapshotEvery, "compact a session's WAL into a snapshot every N steps; negative disables")
 	)
 	flag.Var(&events, "event", `default PRESENCE spec "LO-HI@START-END" (repeatable)`)
 	flag.Parse()
@@ -90,6 +103,18 @@ func main() {
 	if len(events) > 0 {
 		cfg.Events = events
 	}
+	cfg.SnapshotEvery = *snapEvery
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pristed:", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+	} else if *fsync {
+		fmt.Fprintln(os.Stderr, "pristed: -fsync requires -store-dir")
+		os.Exit(2)
+	}
 
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -113,11 +138,26 @@ func main() {
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("pristed: serving on %s (map %dx%d, mechanism %s, max %d sessions, %d-deep queues)",
-		*addr, cfg.GridW, cfg.GridH, cfg.Mechanism, cfg.MaxSessions, cfg.QueueDepth)
+	durability := "in-memory"
+	if *storeDir != "" {
+		durability = fmt.Sprintf("durable at %s (fsync=%v)", *storeDir, *fsync)
+		if st := srv.Stats().Store; st.Replayed > 0 || st.ReplayFailures > 0 {
+			log.Printf("pristed: rehydrated %d sessions (%d failed) in %.1fms, %d warm cache entries",
+				st.Replayed, st.ReplayFailures, st.ReplayMicros/1e3, st.WarmLoaded)
+		}
+	}
+	log.Printf("pristed: serving on %s (map %dx%d, mechanism %s, max %d sessions, %d-deep queues, %s)",
+		*addr, cfg.GridW, cfg.GridH, cfg.Mechanism, cfg.MaxSessions, cfg.QueueDepth, durability)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "pristed:", err)
 		os.Exit(1)
+	}
+	// The listener is down and in-flight handlers have returned; drain
+	// the queued steps, flush snapshots and the warm cache, then exit.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("pristed: drain cut short: %v (WAL still covers pending state)", err)
 	}
 	log.Printf("pristed: shut down")
 }

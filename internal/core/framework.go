@@ -8,9 +8,9 @@
 package core
 
 import (
+	"encoding"
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"priste/internal/certcache"
@@ -114,8 +114,43 @@ type Framework struct {
 	plan   *Plan
 	mech   lppm.Perturber
 	quants []*world.Quantifier
-	rng    *rand.Rand
+	rng    Rand
 	t      int
+
+	// tags is the committed release history: one (alphaBits, obs) pair
+	// per released timestamp. Together with the plan it fully determines
+	// the quantifier and mechanism state (see Snapshot / Plan.Restore).
+	tags []ReleaseTag
+}
+
+// ReleaseTag is one committed release: math.Float64bits of the budget the
+// release was certified at (0 for the uniform fallback, which no genuine
+// budget produces) and the released observation. The tag sequence of a
+// session determines every committed emission column, so replaying it
+// through the session's Plan deterministically rebuilds all mutable
+// engine state — the property the durable-session WAL relies on.
+type ReleaseTag struct {
+	AlphaBits uint64
+	Obs       int
+}
+
+// Snapshot is a complete, serialisable image of a session's mutable
+// state: the committed release-tag history, the rolling history
+// fingerprint over it, and (when the session RNG supports
+// encoding.BinaryMarshaler, as SessionRNG does) the marshaled RNG state.
+// Plan.Restore turns it back into a live Framework.
+type Snapshot struct {
+	// T is the next timestamp to be released; equals len(Tags).
+	T int
+	// Tags is the committed release history in timestamp order.
+	Tags []ReleaseTag
+	// Fingerprint is the rolling history fingerprint the quantifiers
+	// report after committing Tags (world.FingerprintSeed when empty).
+	Fingerprint uint64
+	// RNG is the marshaled session RNG state, or nil when the RNG is not
+	// marshalable (such a snapshot restores state but not the draw
+	// sequence).
+	RNG []byte
 }
 
 // New builds a single-session framework protecting the given events under
@@ -123,7 +158,7 @@ type Framework struct {
 // session over it. The transition provider is shared across events.
 // Callers serving many sessions with identical parameters should build
 // one Plan with NewPlan and mint sessions with Plan.NewSession instead.
-func New(mech lppm.Perturber, tp world.TransitionProvider, events []event.Event, cfg Config, rng *rand.Rand) (*Framework, error) {
+func New(mech lppm.Perturber, tp world.TransitionProvider, events []event.Event, cfg Config, rng Rand) (*Framework, error) {
 	if mech == nil {
 		return nil, fmt.Errorf("core: nil mechanism")
 	}
@@ -275,8 +310,53 @@ func (f *Framework) commit(t, obs int, alphaBits uint64, col mat.Vector) error {
 	if err := f.mech.Observe(t, obs, col); err != nil {
 		return fmt.Errorf("core: mechanism Observe: %w", err)
 	}
+	f.tags = append(f.tags, ReleaseTag{AlphaBits: alphaBits, Obs: obs})
 	f.t++
 	return nil
+}
+
+// Fingerprint returns the rolling history fingerprint of the committed
+// release tags (world.FingerprintSeed before the first commit). Every
+// quantifier of the session folds the same tags, so they agree; the
+// first one is authoritative.
+func (f *Framework) Fingerprint() uint64 {
+	return f.quants[0].HistoryFingerprint()
+}
+
+// Tags returns the committed release-tag history. Callers must not
+// mutate the slice.
+func (f *Framework) Tags() []ReleaseTag { return f.tags }
+
+// RNGState returns the marshaled session RNG state, or nil when the RNG
+// is not marshalable. Cheap (tens of bytes): the per-step WAL record
+// carries it so a crash-recovered session resumes the exact draw
+// sequence.
+func (f *Framework) RNGState() ([]byte, error) {
+	m, ok := f.rng.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, nil
+	}
+	b, err := m.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal session rng: %w", err)
+	}
+	return b, nil
+}
+
+// Snapshot captures the session's complete mutable state. The framework
+// is single-writer; Snapshot must be called from the same context that
+// calls Step (or while the session is provably idle).
+func (f *Framework) Snapshot() (Snapshot, error) {
+	rng, err := f.RNGState()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return Snapshot{
+		T:           f.t,
+		Tags:        append([]ReleaseTag(nil), f.tags...),
+		Fingerprint: f.Fingerprint(),
+		RNG:         rng,
+	}, nil
 }
 
 // Run releases a whole trajectory and returns the per-timestamp results.

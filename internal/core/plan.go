@@ -1,8 +1,10 @@
 package core
 
 import (
+	"encoding"
+	"errors"
 	"fmt"
-	"math/rand"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -151,7 +153,7 @@ func (p *Plan) Cache() *certcache.Cache { return p.cache }
 // NewSession mints a lightweight per-session Framework over the plan: a
 // fresh quantifier per event, the session's RNG, and — for stateful
 // mechanisms — a fresh mechanism instance from the factory.
-func (p *Plan) NewSession(rng *rand.Rand) (*Framework, error) {
+func (p *Plan) NewSession(rng Rand) (*Framework, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("core: nil rng")
 	}
@@ -185,6 +187,75 @@ func (p *Plan) NewSession(rng *rand.Rand) (*Framework, error) {
 	}
 	for _, md := range p.models {
 		f.quants = append(f.quants, world.NewQuantifier(md))
+	}
+	return f, nil
+}
+
+// ErrFingerprintMismatch reports that replaying a snapshot's tag log did
+// not reproduce its recorded history fingerprint: the log and the
+// fingerprint disagree about the committed history, so the restored
+// session cannot be trusted.
+var ErrFingerprintMismatch = errors.New("core: restored history fingerprint mismatch")
+
+// Restore rebuilds a session from a Snapshot by replaying its committed
+// release-tag history through the plan: for each tag the mechanism is
+// advanced (Begin), the committed emission column is re-derived — the
+// budget's column for the released observation, or the uniform column
+// for a fallback tag — and committed into every quantifier and the
+// mechanism state, exactly as the original Step did. Replay is
+// deterministic, so the rehydrated quantifier operators, mechanism
+// posterior and timestamp are bit-identical to the uninterrupted run's;
+// the rolling history fingerprint is verified against the snapshot at
+// the end (ErrFingerprintMismatch otherwise).
+//
+// When the snapshot carries RNG state, rng must implement
+// encoding.BinaryUnmarshaler (SessionRNG does) and is restored to it, so
+// subsequent Steps draw the exact candidate sequence the original
+// session would have.
+func (p *Plan) Restore(snap Snapshot, rng Rand) (*Framework, error) {
+	if snap.T != len(snap.Tags) {
+		return nil, fmt.Errorf("core: snapshot T=%d but %d tags", snap.T, len(snap.Tags))
+	}
+	f, err := p.NewSession(rng)
+	if err != nil {
+		return nil, err
+	}
+	for t, tag := range snap.Tags {
+		if tag.Obs < 0 || tag.Obs >= p.m {
+			return nil, fmt.Errorf("core: replay t=%d: observation %d outside [0,%d)", t, tag.Obs, p.m)
+		}
+		if err := f.mech.Begin(t); err != nil {
+			return nil, fmt.Errorf("core: replay t=%d: mechanism Begin: %w", t, err)
+		}
+		var col mat.Vector
+		if tag.AlphaBits == 0 {
+			col = p.uniformCol
+		} else {
+			alpha := math.Float64frombits(tag.AlphaBits)
+			if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+				return nil, fmt.Errorf("core: replay t=%d: invalid budget %g", t, alpha)
+			}
+			em, err := f.mech.Emission(alpha)
+			if err != nil {
+				return nil, fmt.Errorf("core: replay t=%d: emission at alpha=%g: %w", t, alpha, err)
+			}
+			col = em.Col(tag.Obs)
+		}
+		if err := f.commit(t, tag.Obs, tag.AlphaBits, col); err != nil {
+			return nil, fmt.Errorf("core: replay t=%d: %w", t, err)
+		}
+	}
+	if f.Fingerprint() != snap.Fingerprint {
+		return nil, fmt.Errorf("%w: replayed %#x, snapshot %#x", ErrFingerprintMismatch, f.Fingerprint(), snap.Fingerprint)
+	}
+	if len(snap.RNG) > 0 {
+		u, ok := rng.(encoding.BinaryUnmarshaler)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot carries RNG state but the supplied rng cannot restore it")
+		}
+		if err := u.UnmarshalBinary(snap.RNG); err != nil {
+			return nil, fmt.Errorf("core: restore session rng: %w", err)
+		}
 	}
 	return f, nil
 }

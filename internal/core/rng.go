@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"priste/internal/lppm"
+)
+
+// Rand is the random source a session draws candidate observations from.
+// It is the lppm sampling interface re-exposed at the core layer: any
+// math/rand or math/rand/v2 *Rand satisfies it. Sessions that must survive
+// restarts use SessionRNG, whose state round-trips through
+// encoding.BinaryMarshaler so a rehydrated session continues the exact
+// draw sequence of the uninterrupted run.
+type Rand = lppm.Rand
+
+// sessionRNGStream is the fixed PCG stream constant mixed with the caller
+// seed (the 64-bit golden ratio, as in splitmix64). Fixing the second
+// word keeps NewSessionRNG a pure function of one int64 seed, which is
+// what the serving layer persists.
+const sessionRNGStream = 0x9e3779b97f4a7c15
+
+// SessionRNG is a binary-marshalable session random source: a
+// math/rand/v2 generator over a PCG whose full state is 16 bytes. The
+// durable-session WAL persists the marshaled state after every committed
+// step, so Plan.Restore resumes the candidate sequence exactly where the
+// previous process stopped.
+//
+// Only draws that consume the underlying source directly (Float64,
+// Uint64, ...) are made by the release loop, so marshaling the source
+// captures the complete generator state.
+type SessionRNG struct {
+	*rand.Rand
+	src *rand.PCG
+}
+
+// NewSessionRNG returns a session RNG deterministically derived from
+// seed: equal seeds yield equal draw sequences.
+func NewSessionRNG(seed int64) *SessionRNG {
+	src := rand.NewPCG(uint64(seed), sessionRNGStream)
+	return &SessionRNG{Rand: rand.New(src), src: src}
+}
+
+// MarshalBinary returns the underlying PCG state.
+func (r *SessionRNG) MarshalBinary() ([]byte, error) { return r.src.MarshalBinary() }
+
+// UnmarshalBinary restores the underlying PCG state.
+func (r *SessionRNG) UnmarshalBinary(b []byte) error { return r.src.UnmarshalBinary(b) }

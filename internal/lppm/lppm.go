@@ -10,10 +10,19 @@ package lppm
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"priste/internal/mat"
 )
+
+// Rand is the minimal random source the mechanisms draw from. Both
+// math/rand.*Rand and math/rand/v2.*Rand satisfy it; durable sessions use
+// a binary-marshalable PCG-backed implementation (core.SessionRNG) so a
+// persisted session resumes with the exact candidate sequence an
+// uninterrupted run would have drawn.
+type Rand interface {
+	// Float64 returns a uniform draw from [0,1).
+	Float64() float64
+}
 
 // Perturber is the stateful mechanism interface the PriSTE release loop
 // drives. A timestamp proceeds as: Begin(t); one or more Emission(alpha)
@@ -55,7 +64,7 @@ type HistoryIndependent interface {
 }
 
 // SampleRow draws an observation from row u of an emission matrix.
-func SampleRow(rng *rand.Rand, e *mat.Matrix, u int) (int, error) {
+func SampleRow(rng Rand, e *mat.Matrix, u int) (int, error) {
 	if u < 0 || u >= e.Rows {
 		return 0, fmt.Errorf("lppm: state %d outside [0,%d)", u, e.Rows)
 	}

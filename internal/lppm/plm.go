@@ -3,7 +3,6 @@ package lppm
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"priste/internal/grid"
 	"priste/internal/mat"
@@ -103,7 +102,7 @@ func (p *PlanarLaplace) computeEmission(alpha float64) (*mat.Matrix, error) {
 // uniform and the radius follows the distribution with density
 // α²·r·e^{−αr}, sampled by inverting its CDF with the Lambert W₋₁ branch
 // as in [8] §4.1.
-func (p *PlanarLaplace) SampleContinuous(rng *rand.Rand, u int, alpha float64) (x, y float64, err error) {
+func (p *PlanarLaplace) SampleContinuous(rng Rand, u int, alpha float64) (x, y float64, err error) {
 	if err := clampFinite("alpha", alpha); err != nil {
 		return 0, 0, err
 	}
@@ -119,7 +118,7 @@ func (p *PlanarLaplace) SampleContinuous(rng *rand.Rand, u int, alpha float64) (
 
 // SampleSnapped draws from the continuous planar Laplace and snaps the
 // result back onto the grid (clamping at the map boundary).
-func (p *PlanarLaplace) SampleSnapped(rng *rand.Rand, u int, alpha float64) (int, error) {
+func (p *PlanarLaplace) SampleSnapped(rng Rand, u int, alpha float64) (int, error) {
 	x, y, err := p.SampleContinuous(rng, u, alpha)
 	if err != nil {
 		return 0, err

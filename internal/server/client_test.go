@@ -1,0 +1,182 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// newClientHarness spins up a server behind httptest and returns a typed
+// client against it.
+func newClientHarness(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv := newTestServer(t, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL, nil)
+}
+
+func wantStatus(t *testing.T, err error, status int, label string) {
+	t.Helper()
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("%s: err = %v, want APIError %d", label, err, status)
+	}
+	if apiErr.Status != status {
+		t.Fatalf("%s: status = %d (%s), want %d", label, apiErr.Status, apiErr.Message, status)
+	}
+	if apiErr.Message == "" {
+		t.Fatalf("%s: error envelope carried no message", label)
+	}
+}
+
+// TestClientErrorMapping covers the client-visible mapping of every
+// session-layer sentinel: 404 unknown, 409 duplicate, 410 closed
+// mid-flight, 429 backpressure.
+func TestClientErrorMapping(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = -1 // nothing drains: queues fill and steps hang
+	cfg.QueueDepth = 1
+	srv, client := newClientHarness(t, cfg)
+	ctx := context.Background()
+
+	// 404: step, get and delete against an unknown id.
+	_, err := client.Step(ctx, "ghost", 0)
+	wantStatus(t, err, http.StatusNotFound, "step unknown")
+	_, err = client.Session(ctx, "ghost")
+	wantStatus(t, err, http.StatusNotFound, "get unknown")
+	err = client.DeleteSession(ctx, "ghost")
+	wantStatus(t, err, http.StatusNotFound, "delete unknown")
+
+	// 409: duplicate explicit id.
+	if _, err := client.CreateSession(ctx, CreateSessionRequest{ID: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.CreateSession(ctx, CreateSessionRequest{ID: "u"})
+	wantStatus(t, err, http.StatusConflict, "duplicate create")
+
+	// Fill the queue: the step hangs (no workers) and holds the only slot.
+	stepErr := make(chan error, 1)
+	go func() {
+		_, err := client.Step(ctx, "u", 0)
+		stepErr <- err
+	}()
+	sess, _ := srv.mgr.Get("u")
+	waitFor(t, func() bool { return sess.queued() == 1 })
+
+	// 429: the queue is at capacity.
+	_, err = client.Step(ctx, "u", 0)
+	wantStatus(t, err, http.StatusTooManyRequests, "step on full queue")
+
+	// 410: deleting the session fails the pending step with Gone.
+	if err := client.DeleteSession(ctx, "u"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-stepErr:
+		wantStatus(t, err, http.StatusGone, "pending step after delete")
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending step never resolved after delete")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestClientBatchStepping drives the batch endpoint through the typed
+// client: per-session FIFO order, inline per-item failures, and
+// agreement with the single-step endpoint.
+func TestClientBatchStepping(t *testing.T) {
+	cfg := testConfig()
+	_, client := newClientHarness(t, cfg)
+	ctx := context.Background()
+
+	seedA, seedB := int64(7), int64(8)
+	if _, err := client.CreateSession(ctx, CreateSessionRequest{ID: "a", Seed: &seedA}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.CreateSession(ctx, CreateSessionRequest{ID: "b", Seed: &seedB}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two steps per session in one batch, plus a poisoned item.
+	results, err := client.StepBatch(ctx, []BatchStepItem{
+		{SessionID: "a", Loc: 1},
+		{SessionID: "b", Loc: 2},
+		{SessionID: "ghost", Loc: 3},
+		{SessionID: "a", Loc: 4},
+		{SessionID: "b", Loc: 5},
+	})
+	if err != nil {
+		t.Fatalf("StepBatch: %v", err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("%d results, want 5", len(results))
+	}
+	if results[2].Code != http.StatusNotFound || results[2].Error == "" {
+		t.Fatalf("poisoned item = %+v, want inline 404", results[2])
+	}
+	// FIFO per session: a gets T 0,1; b gets T 0,1; ids echo back.
+	for _, check := range []struct {
+		idx  int
+		id   string
+		want int
+	}{{0, "a", 0}, {1, "b", 0}, {3, "a", 1}, {4, "b", 1}} {
+		r := results[check.idx]
+		if r.Error != "" || r.SessionID != check.id || r.T != check.want {
+			t.Fatalf("item %d = %+v, want session %s T=%d", check.idx, r, check.id, check.want)
+		}
+	}
+
+	// The batch advanced both sessions: the next single step is T=2.
+	res, err := client.Step(ctx, "a", 0)
+	if err != nil || res.T != 2 {
+		t.Fatalf("single step after batch = %+v, %v; want T=2", res, err)
+	}
+
+	// Session info and stats agree through the client.
+	info, err := client.Session(ctx, "a")
+	if err != nil || info.T != 3 {
+		t.Fatalf("session info = %+v, %v; want T=3", info, err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps.Served != 5 || st.Sessions.Live != 2 {
+		t.Fatalf("stats = %+v, want 5 served / 2 live", st.Steps)
+	}
+	if st.Store.Enabled {
+		t.Fatal("Null-store server reports store enabled")
+	}
+}
+
+// TestClientDrainingStatus: a draining server surfaces 503 through the
+// client for both creates and steps.
+func TestClientDrainingStatus(t *testing.T) {
+	srv, client := newClientHarness(t, testConfig())
+	ctx := context.Background()
+	if _, err := client.CreateSession(ctx, CreateSessionRequest{ID: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.CreateSession(ctx, CreateSessionRequest{ID: "v"})
+	wantStatus(t, err, http.StatusServiceUnavailable, "create while draining")
+	_, err = client.Step(ctx, "u", 0)
+	wantStatus(t, err, http.StatusServiceUnavailable, "step while draining")
+}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"runtime"
 	"time"
+
+	"priste/internal/store"
 )
 
 // Default service limits.
@@ -15,6 +17,9 @@ const (
 	// DefaultCertCacheSize bounds the shared certified-release cache
 	// (entries across all shards).
 	DefaultCertCacheSize = 1 << 16
+	// DefaultSnapshotEvery is the snapshot cadence: a session's WAL is
+	// compacted into a snapshot every this many committed steps.
+	DefaultSnapshotEvery = 256
 )
 
 // Config describes one pristed deployment: the shared world model every
@@ -66,6 +71,17 @@ type Config struct {
 	// DefaultCertCacheSize; negative disables the cache (every release
 	// condition is re-solved).
 	CertCacheSize int
+
+	// Store is the session durability backend: committed releases are
+	// journaled to a per-session WAL write-ahead of the step response,
+	// periodically compacted into snapshots, and surviving sessions are
+	// rehydrated on startup. Nil runs in-memory only (store.Null).
+	Store store.Store
+	// SnapshotEvery compacts a session's WAL into a snapshot every this
+	// many committed steps. Zero uses DefaultSnapshotEvery; negative
+	// disables periodic snapshots (the WAL still makes sessions
+	// recoverable — replay just reads a longer log).
+	SnapshotEvery int
 }
 
 // Mechanism names accepted by Config and session-creation requests.
@@ -110,6 +126,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Mechanism == "" {
 		c.Mechanism = MechanismLaplace
+	}
+	if c.Store == nil {
+		c.Store = store.Null{}
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = DefaultSnapshotEvery
 	}
 	return c
 }

@@ -96,6 +96,8 @@ func httpStatus(err error) int {
 		return http.StatusGone
 	case errors.Is(err, ErrSessionExists):
 		return http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math/rand/v2"
 	"sync"
 	"time"
 )
@@ -8,6 +9,17 @@ import (
 // numShards stripes the session map's mutexes so session lookup and
 // creation from many connections do not serialise on one lock.
 const numShards = 32
+
+// Eviction tuning. Up to evictExactThreshold live sessions the evictor
+// scans the whole registry for the true LRU (cheap, and what small
+// deployments and tests expect); beyond it, eviction samples
+// evictSampleSize random entries and evicts the oldest of the sample —
+// the Redis-style approximation that keeps Put O(sample) instead of
+// O(live sessions) under sustained over-capacity churn.
+const (
+	evictExactThreshold = 128
+	evictSampleSize     = 16
+)
 
 type shard struct {
 	mu       sync.RWMutex
@@ -22,6 +34,12 @@ type Manager struct {
 	max     int
 	ttl     time.Duration
 	metrics *Metrics
+
+	// onRemove, when set, runs after a session is removed by an explicit
+	// delete, TTL sweep or capacity eviction — the durability layer's
+	// tombstone hook. CloseAll (shutdown) deliberately does not call it:
+	// sessions closed by shutdown must survive the restart.
+	onRemove func(id string)
 }
 
 func newManager(max int, ttl time.Duration, metrics *Metrics) *Manager {
@@ -52,12 +70,10 @@ func (m *Manager) Get(id string) (*Session, bool) {
 	return s, ok
 }
 
-// Put registers a new session; when that pushes the registry past
-// capacity, least-recently-used sessions are evicted to restore the cap.
-// Fails with ErrSessionExists when the id is already live. Inserting
-// before evicting means a rejected duplicate never evicts an unrelated
-// session, and racing creates each pay for their own eviction instead of
-// overshooting the cap.
+// Put registers a new session; it fails with ErrSessionExists when the
+// id is already live. Registration alone may leave the registry past
+// capacity — callers follow up with enforceCap once they hold no locks
+// the eviction path (Remove → onRemove) might need.
 func (m *Manager) Put(s *Session) error {
 	sh := m.shardFor(s.id)
 	sh.mu.Lock()
@@ -69,12 +85,20 @@ func (m *Manager) Put(s *Session) error {
 	sh.mu.Unlock()
 	m.metrics.sessionsLive.Add(1)
 	m.metrics.sessionsCreated.Add(1)
+	return nil
+}
+
+// enforceCap evicts (approximately) least-recently-used sessions until
+// the registry is back at capacity. Registering before evicting means a
+// rejected duplicate never evicts an unrelated session, and racing
+// creates each pay for their own eviction instead of overshooting the
+// cap.
+func (m *Manager) enforceCap() {
 	for m.metrics.sessionsLive.Load() > int64(m.max) {
 		if !m.evictLRU() {
 			break
 		}
 	}
-	return nil
 }
 
 // Remove unregisters and closes the session with the given id.
@@ -91,14 +115,42 @@ func (m *Manager) Remove(id string) bool {
 	}
 	m.metrics.sessionsLive.Add(-1)
 	s.close()
+	if m.onRemove != nil {
+		m.onRemove(id)
+	}
 	return true
 }
 
-// evictLRU removes and closes the session with the oldest lastUsed
-// timestamp. The scan is O(live sessions); at the DefaultMaxSessions
-// scale this is cheap relative to one certified Step. Returns false when
-// no session was live.
+// evictLRU removes and closes one session chosen as (approximately) the
+// least recently used: an exact full scan below evictExactThreshold live
+// sessions, the oldest of evictSampleSize random entries above it.
+// Returns false when no session was live.
 func (m *Manager) evictLRU() bool {
+	if m.metrics.sessionsLive.Load() <= evictExactThreshold {
+		return m.evictVictim(m.oldestExact())
+	}
+	if v := m.oldestSampled(); v != nil {
+		return m.evictVictim(v)
+	}
+	// The sample raced a burst of removals and saw nothing: fall back to
+	// the exact scan, which also settles the "registry truly empty" case.
+	return m.evictVictim(m.oldestExact())
+}
+
+func (m *Manager) evictVictim(victim *Session) bool {
+	if victim == nil {
+		return false
+	}
+	if m.Remove(victim.id) {
+		m.metrics.sessionsEvicted.Add(1)
+		return true
+	}
+	// Lost a race with Remove; report progress so Put re-checks capacity.
+	return true
+}
+
+// oldestExact scans every shard for the oldest lastUsed timestamp.
+func (m *Manager) oldestExact() *Session {
 	var victim *Session
 	var oldest int64
 	for i := range m.shards {
@@ -111,15 +163,34 @@ func (m *Manager) evictLRU() bool {
 		}
 		sh.mu.RUnlock()
 	}
-	if victim == nil {
-		return false
+	return victim
+}
+
+// oldestSampled inspects up to evictSampleSize sessions — Go's
+// randomised map iteration over shards starting at a random index — and
+// returns the oldest seen. With a sample of 16 the evicted session is in
+// the oldest ~18% of the registry with >95% probability, which is enough
+// to keep churn from recycling hot sessions, at O(1) cost per eviction.
+func (m *Manager) oldestSampled() *Session {
+	var victim *Session
+	var oldest int64
+	start := int(rand.Uint64N(numShards))
+	sampled := 0
+	for i := 0; i < numShards && sampled < evictSampleSize; i++ {
+		sh := &m.shards[(start+i)%numShards]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			if t := s.lastUsed.Load(); victim == nil || t < oldest {
+				victim, oldest = s, t
+			}
+			sampled++
+			if sampled >= evictSampleSize {
+				break
+			}
+		}
+		sh.mu.RUnlock()
 	}
-	if m.Remove(victim.id) {
-		m.metrics.sessionsEvicted.Add(1)
-		return true
-	}
-	// Lost a race with Remove; report progress so Put re-checks capacity.
-	return true
+	return victim
 }
 
 // sweep evicts every session idle since before the TTL cutoff and
@@ -150,7 +221,22 @@ func (m *Manager) sweep(now time.Time) int {
 	return evicted
 }
 
-// CloseAll removes and closes every live session (shutdown path).
+// forEach calls f on every live session. f must not call back into the
+// Manager for the same shard (it runs under the shard read lock).
+func (m *Manager) forEach(f func(*Session)) {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			f(s)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// CloseAll removes and closes every live session (shutdown path). It
+// deliberately skips the onRemove tombstone hook: shutdown must leave
+// journaled sessions recoverable.
 func (m *Manager) CloseAll() {
 	for i := range m.shards {
 		sh := &m.shards[i]

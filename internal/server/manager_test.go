@@ -198,6 +198,109 @@ func TestQueueBackpressure(t *testing.T) {
 	}
 }
 
+// TestSampledEviction drives the manager far past evictExactThreshold:
+// every over-capacity Put must evict exactly one session, the freshest
+// session must never be the victim (a 16-entry sample always contains
+// something older), and the registry must hold the cap afterwards.
+func TestSampledEviction(t *testing.T) {
+	const max = evictExactThreshold + 22
+	const total = 2 * max
+	metrics := &Metrics{}
+	mgr := newManager(max, time.Minute, metrics)
+	base := time.Now()
+	var last string
+	for i := 0; i < total; i++ {
+		id := fmt.Sprintf("s%04d", i)
+		s := &Session{id: id, created: base}
+		s.touch(base.Add(time.Duration(i) * time.Second)) // strictly increasing
+		if err := mgr.Put(s); err != nil {
+			t.Fatalf("Put %s: %v", id, err)
+		}
+		mgr.enforceCap()
+		last = id
+		if n := mgr.Len(); n > max {
+			t.Fatalf("after %d puts: live = %d > max %d", i+1, n, max)
+		}
+	}
+	if mgr.Len() != max {
+		t.Fatalf("live = %d, want %d", mgr.Len(), max)
+	}
+	if ev := metrics.sessionsEvicted.Load(); ev != total-max {
+		t.Fatalf("evicted = %d, want %d", ev, total-max)
+	}
+	if _, ok := mgr.Get(last); !ok {
+		t.Fatal("freshest session was evicted by sampling")
+	}
+}
+
+// TestTombstoneHookFiresOnRemoveNotCloseAll: delete/evict must invoke
+// the durability tombstone hook; shutdown (CloseAll) must not, so
+// journaled sessions survive a restart.
+func TestTombstoneHookFiresOnRemoveNotCloseAll(t *testing.T) {
+	metrics := &Metrics{}
+	mgr := newManager(2, time.Minute, metrics)
+	tombs := make(map[string]int)
+	mgr.onRemove = func(id string) { tombs[id]++ }
+	now := time.Now()
+	for _, id := range []string{"a", "b"} {
+		s := &Session{id: id, created: now}
+		s.touch(now)
+		if err := mgr.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr.Remove("a")
+	// "c" pushes past capacity: the LRU ("b") is evicted via Remove.
+	s := &Session{id: "c", created: now}
+	s.touch(now.Add(time.Minute))
+	if err := mgr.Put(s); err != nil {
+		t.Fatal(err)
+	}
+	mgr.enforceCap()
+	d := &Session{id: "d", created: now}
+	d.touch(now.Add(2 * time.Minute))
+	if err := mgr.Put(d); err != nil {
+		t.Fatal(err)
+	}
+	mgr.enforceCap()
+	if tombs["a"] != 1 || tombs["b"] != 1 {
+		t.Fatalf("tombstones = %v, want a and b exactly once", tombs)
+	}
+	mgr.CloseAll()
+	if tombs["c"] != 0 || tombs["d"] != 0 {
+		t.Fatalf("CloseAll tombstoned surviving sessions: %v", tombs)
+	}
+}
+
+// BenchmarkPutChurnOverCapacity measures Put while the registry sits at
+// capacity, so every insert pays one eviction — the path sampled
+// eviction takes from O(live) to O(sample).
+func BenchmarkPutChurnOverCapacity(b *testing.B) {
+	for _, max := range []int{512, 4096} {
+		b.Run(fmt.Sprintf("max=%d", max), func(b *testing.B) {
+			metrics := &Metrics{}
+			mgr := newManager(max, time.Minute, metrics)
+			base := time.Now()
+			for i := 0; i < max; i++ {
+				s := &Session{id: fmt.Sprintf("fill%06d", i), created: base}
+				s.touch(base.Add(time.Duration(i)))
+				if err := mgr.Put(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := &Session{id: fmt.Sprintf("churn%09d", i), created: base}
+				s.touch(base.Add(time.Duration(max + i)))
+				if err := mgr.Put(s); err != nil {
+					b.Fatal(err)
+				}
+				mgr.enforceCap()
+			}
+		})
+	}
+}
+
 func TestPendingStepsFailOnClose(t *testing.T) {
 	cfg := testConfig()
 	cfg.Workers = -1

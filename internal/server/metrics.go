@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"priste/internal/core"
+	"priste/internal/store"
 )
 
 // latencyWindow is the number of recent step latencies retained for the
@@ -24,6 +25,14 @@ type Metrics struct {
 	stepErrors      atomic.Int64
 	uniformReleases atomic.Int64
 	queueRejections atomic.Int64
+
+	storeAppendErrors    atomic.Int64
+	storeSnapshotErrors  atomic.Int64
+	storeTombstoneErrors atomic.Int64
+	storeReplayed        atomic.Int64
+	storeReplayFailures  atomic.Int64
+	storeReplayNanos     atomic.Int64
+	storeWarmLoadFailed  atomic.Int64
 
 	lat struct {
 		mu  sync.Mutex
@@ -76,6 +85,29 @@ type Stats struct {
 	Latency   LatencyStats   `json:"latency"`
 	Plans     PlanStats      `json:"plans"`
 	CertCache CertCacheStats `json:"cert_cache"`
+	Store     StoreStats     `json:"store"`
+}
+
+// StoreStats is the /statsz durability section: the store's own
+// counters (appends, fsyncs, snapshots, ...) plus the serving layer's
+// view of it — append failures, startup session replays and their total
+// latency, and warm-loaded certified-release cache entries.
+type StoreStats struct {
+	store.Stats
+	// AppendErrors counts failed write-ahead journal appends (acknowledged
+	// steps whose record was lost); SnapshotErrors failed compactions
+	// (self-healing at the next cadence); TombstoneErrors failed
+	// delete/evict tombstones.
+	AppendErrors    int64   `json:"append_errors"`
+	SnapshotErrors  int64   `json:"snapshot_errors"`
+	TombstoneErrors int64   `json:"tombstone_errors"`
+	Replayed        int64   `json:"replayed"`
+	ReplayFailures  int64   `json:"replay_failures"`
+	ReplayMicros    float64 `json:"replay_us"`
+	WarmLoaded      int64   `json:"warm_loaded"`
+	// WarmLoadFailed is 1 when the persisted cert-cache existed but
+	// could not be read at startup (the server started cold).
+	WarmLoadFailed int64 `json:"warm_load_failed"`
 }
 
 // CertCacheStats is the /statsz certified-release cache section. HitRate

@@ -3,6 +3,8 @@ package server
 import (
 	"sync"
 	"time"
+
+	"priste/internal/core"
 )
 
 // pool is the step execution layer: a fixed set of workers pulling
@@ -12,10 +14,23 @@ import (
 // token — so steps from many users run concurrently while each session
 // stays single-writer with per-session FIFO ordering.
 type pool struct {
-	runq    chan *Session
-	quit    chan struct{}
-	wg      sync.WaitGroup
-	metrics *Metrics
+	runq     chan *Session
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	metrics  *Metrics
+
+	// onStep, when set, runs after every successfully committed step,
+	// before the result is acknowledged to the caller — the write-ahead
+	// point where the durability layer journals the release. It runs on
+	// the worker holding the session's scheduled token, so it may touch
+	// the session's framework.
+	onStep func(s *Session, res core.StepResult)
+	// onSnap, when set, runs after a step's acknowledgement when onStep
+	// flagged the session (Session.needSnap) — snapshot compaction is
+	// pure optimisation over an already-journaled WAL, so it must not
+	// sit on the ack path. Same single-writer context as onStep.
+	onSnap func(s *Session)
 }
 
 func newPool(workers, maxSessions int, metrics *Metrics) *pool {
@@ -68,16 +83,29 @@ func (p *pool) drain(s *Session) {
 		res, err := s.fw.Step(j.loc)
 		if err == nil {
 			s.steps.Add(1)
+			if p.onStep != nil {
+				p.onStep(s, res)
+			}
 		}
 		s.touch(time.Now())
 		p.metrics.observeStep(time.Since(start), res, err)
 		j.done <- stepOutcome{res: res, err: err}
+		if s.needSnap {
+			s.needSnap = false
+			if p.onSnap != nil {
+				p.onSnap(s)
+			}
+		}
 	}
 }
 
-// stop shuts the workers down. The caller must have closed every session
-// first so no pending job is left unanswered.
+// stop shuts the workers down and waits for them; once it returns no
+// worker touches any session's framework. Jobs still queued are failed
+// by the session close that must follow (Close/CloseAll), and late
+// schedule() calls fail their jobs via the quit path. Idempotent.
 func (p *pool) stop() {
-	close(p.quit)
-	p.wg.Wait()
+	p.stopOnce.Do(func() {
+		close(p.quit)
+		p.wg.Wait()
+	})
 }

@@ -9,18 +9,23 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math/rand"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"priste/internal/certcache"
 	"priste/internal/core"
+	"priste/internal/event"
 	"priste/internal/eventspec"
 	"priste/internal/grid"
 	"priste/internal/lppm"
 	"priste/internal/markov"
 	"priste/internal/mat"
+	"priste/internal/store"
 	"priste/internal/world"
 )
 
@@ -39,8 +44,33 @@ type Server struct {
 	pool     *pool
 	metrics  *Metrics
 
+	// worldTag canonically identifies the world model; it scopes every
+	// persisted identity (session journals, warm cache keys) so state
+	// certified against one world is never replayed into another.
+	worldTag string
+
+	// durable is false for the Null store; it gates the per-step
+	// persistence work so in-memory deployments pay nothing.
+	durable bool
+	// createMu serialises the journal+register tail of CreateSession so
+	// orphan-journal reclamation (an id journaled but no longer live,
+	// e.g. evicted during an over-capacity rehydrate) cannot race a
+	// concurrent create of the same id. Plan compilation stays outside
+	// the lock.
+	createMu sync.Mutex
+	// saveCacheMu serialises warm-cache persistence: the periodic
+	// cacheSaver tick and the final Shutdown save must not write the
+	// same file concurrently. lastCacheSig (guarded by it) is the cache
+	// counter signature at the last successful save; unchanged → skip.
+	saveCacheMu  sync.Mutex
+	lastCacheSig [4]int64
+	// draining is set by Shutdown: new sessions and steps are rejected
+	// with ErrDraining while pending work completes and state flushes.
+	draining atomic.Bool
+
 	janitorQuit chan struct{}
 	janitorWG   sync.WaitGroup
+	stopBgOnce  sync.Once
 
 	closeOnce sync.Once
 }
@@ -73,6 +103,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CertCacheSize > 0 {
 		cache = certcache.New(cfg.CertCacheSize)
 	}
+	_, isNull := cfg.Store.(store.Null)
+	worldTag := fmt.Sprintf("grid=%dx%d;cell=%g;sigma=%g", cfg.GridW, cfg.GridH, cfg.Cell, cfg.Sigma)
 	s := &Server{
 		cfg:         cfg,
 		g:           g,
@@ -80,16 +112,232 @@ func New(cfg Config) (*Server, error) {
 		tp:          world.NewHomogeneous(chain),
 		pi:          markov.Uniform(g.States()),
 		mgr:         newManager(cfg.MaxSessions, cfg.SessionTTL, metrics),
-		registry:    newPlanRegistry(cache),
+		registry:    newPlanRegistry(cache, worldTag),
 		pool:        newPool(workers, cfg.MaxSessions, metrics),
 		metrics:     metrics,
+		worldTag:    worldTag,
+		durable:     !isNull,
 		janitorQuit: make(chan struct{}),
+	}
+	if s.durable {
+		s.pool.onStep = s.persistStep
+		s.pool.onSnap = s.snapshotSession
+		if entries, err := cfg.Store.LoadCache(); err == nil {
+			s.registry.setWarm(entries)
+		} else {
+			s.metrics.storeWarmLoadFailed.Add(1)
+		}
+		if err := s.rehydrate(); err != nil {
+			s.pool.stop()
+			return nil, err
+		}
+		// Tombstone sessions removed by delete/evict/TTL. Installed only
+		// after rehydration: a restart with more persisted sessions than
+		// MaxSessions evicts the overflow from memory but must not
+		// destroy its journals — the data outlives the capacity squeeze.
+		// CloseAll (shutdown) also bypasses the hook. The liveness check
+		// under createMu closes the remove/re-create race: if the id went
+		// live again, its journal belongs to the new session (the
+		// re-create already reclaimed the old one) and must survive.
+		// Callers therefore must never hold createMu across a Manager
+		// eviction or Remove.
+		s.mgr.onRemove = func(id string) {
+			s.createMu.Lock()
+			defer s.createMu.Unlock()
+			if _, ok := s.mgr.Get(id); ok {
+				return
+			}
+			if err := cfg.Store.DeleteSession(id); err != nil {
+				s.metrics.storeTombstoneErrors.Add(1)
+			}
+		}
+		// Persist the certified-release cache periodically so a crash
+		// loses at most one interval of warmth (Shutdown writes the final
+		// copy).
+		s.janitorWG.Add(1)
+		go s.cacheSaver()
 	}
 	if cfg.SessionTTL > 0 {
 		s.janitorWG.Add(1)
 		go s.janitor()
 	}
 	return s, nil
+}
+
+// cacheSaveInterval paces the periodic warm-cache persistence.
+const cacheSaveInterval = time.Minute
+
+// cacheSaver periodically persists the certified-release cache.
+func (s *Server) cacheSaver() {
+	defer s.janitorWG.Done()
+	tick := time.NewTicker(cacheSaveInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.saveCache()
+		case <-s.janitorQuit:
+			return
+		}
+	}
+}
+
+// saveCache persists the certified-release cache when it has content
+// and has changed since the last save: an idle deployment must not
+// rewrite and fsync a multi-MB file every tick for zero new
+// information. Misses approximate insertions (every insert follows a
+// miss) and evictions/entries catch churn.
+func (s *Server) saveCache() {
+	s.saveCacheMu.Lock()
+	defer s.saveCacheMu.Unlock()
+	var sig [4]int64
+	if c := s.registry.Cache(); c != nil {
+		cs := c.Stats()
+		sig = [4]int64{cs.Misses, cs.Evictions, cs.Entries, s.registry.WarmLoaded()}
+	}
+	if sig == s.lastCacheSig {
+		return
+	}
+	if entries := s.registry.exportCache(); len(entries) > 0 {
+		if s.cfg.Store.SaveCache(entries) == nil {
+			s.lastCacheSig = sig
+		}
+	}
+}
+
+// rehydrate rebuilds every surviving journaled session: the plan is
+// recompiled (or shared) from the persisted metadata and the committed
+// release-tag history is replayed through it, verifying the rolling
+// history fingerprint; the session RNG resumes from the persisted PCG
+// state. A session that fails replay is counted and skipped with its
+// journal preserved — it must not wedge startup, and the next restart
+// (e.g. under the original world model) may still recover it.
+func (s *Server) rehydrate() error {
+	states, err := s.cfg.Store.LoadSessions()
+	if err != nil {
+		return fmt.Errorf("server: load sessions: %w", err)
+	}
+	for _, st := range states {
+		start := time.Now()
+		sess, err := s.restoreSession(st)
+		if err != nil {
+			// Keep the journal: a replay failure may be an operator
+			// mistake (e.g. restarting under a different world model)
+			// that the next restart can still recover from. The id stays
+			// reclaimable through the orphan path in register.
+			s.metrics.storeReplayFailures.Add(1)
+			continue
+		}
+		if err := s.mgr.Put(sess); err != nil {
+			// Duplicate persisted id: keep the first.
+			s.metrics.storeReplayFailures.Add(1)
+			continue
+		}
+		s.mgr.enforceCap()
+		s.metrics.storeReplayed.Add(1)
+		s.metrics.storeReplayNanos.Add(int64(time.Since(start)))
+	}
+	return nil
+}
+
+func (s *Server) restoreSession(st store.SessionState) (*Session, error) {
+	if st.Meta.World != s.worldTag {
+		return nil, fmt.Errorf("server: session %q was journaled for world %q, this server runs %q",
+			st.Meta.ID, st.Meta.World, s.worldTag)
+	}
+	events, err := eventspec.ParseAll(st.Meta.Events, s.g.States(), 0)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.buildPlan(st.Meta.Epsilon, st.Meta.Alpha, st.Meta.Mechanism, st.Meta.Delta, events)
+	if err != nil {
+		return nil, err
+	}
+	snap := core.Snapshot{
+		T:           len(st.Tags),
+		Tags:        make([]core.ReleaseTag, len(st.Tags)),
+		Fingerprint: st.Fingerprint,
+		RNG:         st.RNG,
+	}
+	for i, tag := range st.Tags {
+		snap.Tags[i] = core.ReleaseTag{AlphaBits: tag.AlphaBits, Obs: tag.Obs}
+	}
+	// With no persisted RNG state (a session that never stepped), the
+	// seed-fresh RNG below is exactly the original starting state.
+	fw, err := plan.Restore(snap, core.NewSessionRNG(st.Meta.Seed))
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	sess := &Session{
+		id:        st.Meta.ID,
+		created:   time.Unix(0, st.Meta.CreatedUnixNano),
+		fw:        fw,
+		epsilon:   st.Meta.Epsilon,
+		alpha:     st.Meta.Alpha,
+		mechanism: st.Meta.Mechanism,
+		delta:     st.Meta.Delta,
+		events:    st.Meta.Events,
+		seed:      st.Meta.Seed,
+		storeGen:  st.Gen,
+	}
+	sess.steps.Store(int64(fw.T()))
+	sess.touch(now)
+	return sess, nil
+}
+
+// persistStep journals one committed release write-ahead of its
+// acknowledgement: the WAL record carries the release tag, the rolling
+// fingerprint after it, and the post-step RNG state. Every
+// SnapshotEvery-th step the WAL is compacted into a snapshot. Runs on
+// the worker holding the session's scheduled token. An append failure
+// degrades durability, not serving: the step stands, the failure is
+// counted, and recovery keeps the longest consistent journal prefix.
+func (s *Server) persistStep(sess *Session, res core.StepResult) {
+	rng, err := sess.fw.RNGState()
+	if err != nil {
+		s.metrics.storeAppendErrors.Add(1)
+		return
+	}
+	rec := store.StepRecord{
+		T:           res.T,
+		Tag:         store.Tag{AlphaBits: math.Float64bits(res.Alpha), Obs: res.Obs},
+		Fingerprint: sess.fw.Fingerprint(),
+		RNG:         rng,
+	}
+	if err := s.cfg.Store.AppendStep(sess.id, sess.storeGen, rec); err != nil {
+		s.metrics.storeAppendErrors.Add(1)
+		return
+	}
+	// Compaction is deferred until after this step's acknowledgement
+	// (pool.onSnap): the WAL already covers everything, so the snapshot
+	// must not sit on the ack path.
+	if every := s.cfg.SnapshotEvery; every > 0 && sess.steps.Load()%int64(every) == 0 {
+		sess.needSnap = true
+	}
+}
+
+// snapshotSession compacts a session's WAL into a snapshot. The caller
+// must own the session's single-writer context (its scheduled token, or
+// a drained server).
+func (s *Server) snapshotSession(sess *Session) {
+	snap, err := sess.fw.Snapshot()
+	if err != nil {
+		s.metrics.storeSnapshotErrors.Add(1)
+		return
+	}
+	state := store.SessionState{
+		Meta:        sess.meta(s.worldTag),
+		Tags:        make([]store.Tag, len(snap.Tags)),
+		Fingerprint: snap.Fingerprint,
+		RNG:         snap.RNG,
+	}
+	for i, tag := range snap.Tags {
+		state.Tags[i] = store.Tag{AlphaBits: tag.AlphaBits, Obs: tag.Obs}
+	}
+	if err := s.cfg.Store.WriteSnapshot(state, sess.storeGen); err != nil {
+		s.metrics.storeSnapshotErrors.Add(1)
+	}
 }
 
 // janitor periodically evicts idle sessions.
@@ -141,19 +389,92 @@ func (s *Server) Stats() Stats {
 			st.CertCache.HitRate = float64(cs.Hits) / float64(total)
 		}
 	}
+	st.Store = StoreStats{
+		Stats:           s.cfg.Store.Stats(),
+		AppendErrors:    s.metrics.storeAppendErrors.Load(),
+		SnapshotErrors:  s.metrics.storeSnapshotErrors.Load(),
+		TombstoneErrors: s.metrics.storeTombstoneErrors.Load(),
+		Replayed:        s.metrics.storeReplayed.Load(),
+		ReplayFailures:  s.metrics.storeReplayFailures.Load(),
+		ReplayMicros:    float64(s.metrics.storeReplayNanos.Load()) / 1e3,
+		WarmLoaded:      s.registry.WarmLoaded(),
+		WarmLoadFailed:  s.metrics.storeWarmLoadFailed.Load(),
+	}
 	return st
 }
 
 // Close stops the janitor, closes every session (failing pending steps
-// with ErrSessionClosed) and stops the worker pool. Safe to call more
-// than once.
+// with ErrSessionClosed), stops the worker pool and closes the store.
+// Safe to call more than once. Pending steps die unflushed — for a clean
+// drain-and-flush stop, use Shutdown.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
-		close(s.janitorQuit)
-		s.janitorWG.Wait()
+		s.stopBackground()
 		s.mgr.CloseAll()
 		s.pool.stop()
+		_ = s.cfg.Store.Close()
 	})
+}
+
+// stopBackground stops the janitor and cache-saver goroutines; it is
+// idempotent and called by both Close and (earlier) Shutdown — a TTL
+// sweep firing mid-shutdown would tombstone journals that graceful
+// shutdown promises survive.
+func (s *Server) stopBackground() {
+	s.stopBgOnce.Do(func() {
+		close(s.janitorQuit)
+		s.janitorWG.Wait()
+	})
+}
+
+// Shutdown gracefully stops the server: it stops accepting new sessions
+// and steps (ErrDraining, HTTP 503), waits for every session's pending
+// queue to drain (bounded by ctx), compacts each drained session into a
+// final snapshot, persists the certified-release cache, and only then
+// closes the sessions, pool and store. Steps accepted before Shutdown
+// are served and journaled, not failed. Returns ctx.Err() when the
+// deadline cut the drain short; the WAL still covers whatever the
+// snapshots missed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	// No TTL sweep may run once the drain starts: an eviction here would
+	// tombstone a journal this shutdown exists to preserve.
+	s.stopBackground()
+	err := s.awaitDrain(ctx)
+	// Stop the workers before flushing: a step that slipped past the
+	// draining check concurrently with the drain must not mutate a
+	// framework while its final snapshot is being written. Jobs it
+	// enqueued are failed by CloseAll below.
+	s.pool.stop()
+	if s.durable {
+		s.mgr.forEach(s.snapshotSession)
+		s.saveCache()
+	}
+	s.Close()
+	return err
+}
+
+// awaitDrain blocks until no session has pending or in-flight steps, or
+// ctx expires.
+func (s *Server) awaitDrain(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		busy := false
+		s.mgr.forEach(func(sess *Session) {
+			if !sess.idle() {
+				busy = true
+			}
+		})
+		if !busy {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 // CreateSession builds and registers a session from a creation request,
@@ -163,7 +484,9 @@ func (s *Server) Close() {
 // quantifier state and (for δ) mechanism state are per-session. At
 // capacity the least recently used session is evicted to make room.
 func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
-	m := s.g.States()
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
 	eps := req.Epsilon
 	if eps == 0 {
 		eps = s.cfg.Epsilon
@@ -180,39 +503,18 @@ func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
 	if len(specs) == 0 {
 		specs = s.cfg.Events
 	}
-	events, err := eventspec.ParseAll(specs, m, 0)
+	events, err := eventspec.ParseAll(specs, s.g.States(), 0)
 	if err != nil {
 		return nil, err
 	}
-
 	delta := 0.0
-	var mf core.MechanismFactory
-	switch mechName {
-	case MechanismLaplace:
-		mf = func() (lppm.Perturber, error) { return lppm.NewPlanarLaplace(s.g), nil }
-	case MechanismDelta:
+	if mechName == MechanismDelta {
 		delta = s.cfg.Delta
 		if req.Delta != nil {
 			delta = *req.Delta
 		}
-		d := delta
-		mf = func() (lppm.Perturber, error) { return lppm.NewDeltaLocationSet(s.g, s.chain, s.pi, d) }
-	default:
-		return nil, fmt.Errorf("server: unknown mechanism %q (want %q or %q)", mechName, MechanismLaplace, MechanismDelta)
 	}
-
-	key := planKey{
-		epsilon:   eps,
-		alpha:     alpha,
-		mechanism: mechName,
-		delta:     delta,
-		events:    canonicalEvents(events),
-	}
-	plan, err := s.registry.lookup(key, func() (*core.Plan, error) {
-		coreCfg := core.DefaultConfig(eps, alpha)
-		coreCfg.QPTimeout = s.cfg.QPTimeout
-		return core.NewPlan(mf, s.tp, events, coreCfg)
-	})
+	plan, err := s.buildPlan(eps, alpha, mechName, delta, events)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +525,7 @@ func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
 	} else {
 		seed = randomSeed()
 	}
-	fw, err := plan.NewSession(rand.New(rand.NewSource(seed)))
+	fw, err := plan.NewSession(core.NewSessionRNG(seed))
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +533,8 @@ func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
 	id := req.ID
 	if id == "" {
 		id = newSessionID()
+	} else if len(id) > maxSessionIDLen {
+		return nil, fmt.Errorf("server: session id longer than %d bytes", maxSessionIDLen)
 	}
 	now := time.Now()
 	sess := &Session{
@@ -240,13 +544,81 @@ func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
 		epsilon:   eps,
 		alpha:     alpha,
 		mechanism: mechName,
+		delta:     delta,
 		events:    specs,
+		seed:      seed,
 	}
 	sess.touch(now)
-	if err := s.mgr.Put(sess); err != nil {
+	if err := s.register(sess); err != nil {
 		return nil, err
 	}
+	// Capacity eviction runs outside createMu: its Remove path fires the
+	// onRemove tombstone hook, which itself takes createMu.
+	s.mgr.enforceCap()
 	return sess, nil
+}
+
+// register journals (durable stores) and registers a new session.
+// Journal before registering: once the session is steppable, a
+// concurrent step (clients may know the id ahead of the create
+// response) must find its WAL open, or the acknowledged step would be
+// lost and leave a gap that truncates replay. createMu serialises this
+// tail, which makes the not-live-but-journaled check race-free: an id
+// whose journal survives without a live session (evicted during an
+// over-capacity rehydrate, or refused replay) is reported
+// ErrSessionExists — its certified history must never be silently
+// truncated by a create; the owner reclaims it with an explicit DELETE
+// first.
+func (s *Server) register(sess *Session) error {
+	if !s.durable {
+		return s.mgr.Put(sess)
+	}
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	if _, ok := s.mgr.Get(sess.id); ok {
+		return ErrSessionExists
+	}
+	meta := sess.meta(s.worldTag)
+	gen, err := s.cfg.Store.CreateSession(meta)
+	if err != nil {
+		if errors.Is(err, store.ErrAlreadyJournaled) {
+			return fmt.Errorf("%w (its journal survives; DELETE it to start over)", ErrSessionExists)
+		}
+		return fmt.Errorf("server: journal session: %w", err)
+	}
+	sess.storeGen = gen
+	if err := s.mgr.Put(sess); err != nil {
+		_ = s.cfg.Store.DeleteSession(sess.id)
+		return err
+	}
+	return nil
+}
+
+// buildPlan returns the shared compiled plan for the canonical engine
+// parameters, compiling it on first use. delta is only meaningful for
+// MechanismDelta and must be 0 otherwise.
+func (s *Server) buildPlan(eps, alpha float64, mechName string, delta float64, events []event.Event) (*core.Plan, error) {
+	var mf core.MechanismFactory
+	switch mechName {
+	case MechanismLaplace:
+		mf = func() (lppm.Perturber, error) { return lppm.NewPlanarLaplace(s.g), nil }
+	case MechanismDelta:
+		mf = func() (lppm.Perturber, error) { return lppm.NewDeltaLocationSet(s.g, s.chain, s.pi, delta) }
+	default:
+		return nil, fmt.Errorf("server: unknown mechanism %q (want %q or %q)", mechName, MechanismLaplace, MechanismDelta)
+	}
+	key := planKey{
+		epsilon:   eps,
+		alpha:     alpha,
+		mechanism: mechName,
+		delta:     delta,
+		events:    canonicalEvents(events),
+	}
+	return s.registry.lookup(key, func() (*core.Plan, error) {
+		coreCfg := core.DefaultConfig(eps, alpha)
+		coreCfg.QPTimeout = s.cfg.QPTimeout
+		return core.NewPlan(mf, s.tp, events, coreCfg)
+	})
 }
 
 // Step enqueues one step on a session and waits for its certified
@@ -264,6 +636,9 @@ func (s *Server) Step(id string, loc int) (core.StepResult, error) {
 
 // stepAsync enqueues one step and returns the completion channel.
 func (s *Server) stepAsync(id string, loc int) (chan stepOutcome, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
 	sess, ok := s.mgr.Get(id)
 	if !ok {
 		return nil, ErrNotFound
@@ -283,8 +658,35 @@ func (s *Server) stepAsync(id string, loc int) (chan stepOutcome, error) {
 	return j.done, nil
 }
 
-// DeleteSession removes and closes a session.
-func (s *Server) DeleteSession(id string) bool { return s.mgr.Remove(id) }
+// DeleteSession removes and closes a session. A session that is
+// journaled but no longer live (evicted during an over-capacity
+// rehydrate) is tombstoned in the store so its id and disk space are
+// reclaimed.
+func (s *Server) DeleteSession(id string) bool {
+	for {
+		// Remove fires the onRemove hook, which takes createMu itself —
+		// so it must be called lock-free here.
+		if s.mgr.Remove(id) {
+			return true
+		}
+		if !s.durable {
+			return false
+		}
+		// createMu rules out a create of the same id sitting between its
+		// journal and its registration — without it the store-only
+		// tombstone below could unlink the WAL of a session about to go
+		// live. If the id went live meanwhile, loop back to the hook
+		// path.
+		s.createMu.Lock()
+		if _, ok := s.mgr.Get(id); ok {
+			s.createMu.Unlock()
+			continue
+		}
+		ok := s.cfg.Store.DeleteSession(id) == nil
+		s.createMu.Unlock()
+		return ok
+	}
+}
 
 // SessionInfo reports a session's public state.
 func (s *Server) SessionInfo(id string) (SessionInfo, error) {

@@ -37,7 +37,7 @@ func directFramework(t *testing.T, cfg Config, seed int64) *core.Framework {
 	}
 	coreCfg := core.DefaultConfig(cfg.Epsilon, cfg.Alpha)
 	coreCfg.QPTimeout = cfg.QPTimeout
-	fw, err := core.New(lppm.NewPlanarLaplace(g), world.NewHomogeneous(chain), events, coreCfg, rand.New(rand.NewSource(seed)))
+	fw, err := core.New(lppm.NewPlanarLaplace(g), world.NewHomogeneous(chain), events, coreCfg, core.NewSessionRNG(seed))
 	if err != nil {
 		t.Fatal(err)
 	}

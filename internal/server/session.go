@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"priste/internal/core"
+	"priste/internal/store"
 )
 
 // Sentinel errors surfaced by the session layer; the HTTP layer maps them
@@ -26,6 +27,10 @@ var (
 	ErrSessionExists = errors.New("server: session id already exists")
 	// ErrNotFound reports an unknown session id (HTTP 404).
 	ErrNotFound = errors.New("server: session not found")
+	// ErrDraining reports a request rejected because the server is in
+	// graceful shutdown: no new sessions or steps are accepted while
+	// pending work drains and state is flushed (HTTP 503).
+	ErrDraining = errors.New("server: draining for shutdown")
 )
 
 // stepJob is one pending Step call; done is buffered (cap 1) so the worker
@@ -65,12 +70,31 @@ type Session struct {
 	// Single-writer state: guarded by the scheduled token, not mu.
 	fw *core.Framework
 
-	// Immutable session metadata for GET /v1/sessions/{id}.
+	// Immutable session metadata for GET /v1/sessions/{id} and the
+	// durability journal.
 	epsilon   float64
 	alpha     float64
 	mechanism string
+	delta     float64
 	events    []string
+	seed      int64
+
+	// storeGen is the durability journal's generation token for this
+	// incarnation of the id (see store.Store.CreateSession). Set once
+	// before the session becomes steppable.
+	storeGen uint64
+	// needSnap asks the worker to compact the WAL into a snapshot after
+	// acknowledging the current step. Owned by the scheduled-token
+	// holder; no locking.
+	needSnap bool
 }
+
+// maxSessionIDLen caps client-supplied session ids. The durable store
+// names files by the hex of the id (double its length), so the cap
+// keeps filenames under every mainstream filesystem's 255-byte
+// NAME_MAX; it applies to in-memory deployments too so behaviour does
+// not diverge by store.
+const maxSessionIDLen = 120
 
 // newSessionID returns a 128-bit random hex id.
 func newSessionID() string {
@@ -145,4 +169,29 @@ func (s *Session) queued() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.queue)
+}
+
+// idle reports whether the session has no pending steps and no worker
+// holding its scheduled token — i.e. nothing is touching fw, so the
+// shutdown path may snapshot it.
+func (s *Session) idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue) == 0 && !s.scheduled
+}
+
+// meta renders the session's immutable identity for the durability
+// journal; world tags the server's world model (see store.SessionMeta).
+func (s *Session) meta(world string) store.SessionMeta {
+	return store.SessionMeta{
+		ID:              s.id,
+		World:           world,
+		Seed:            s.seed,
+		Epsilon:         s.epsilon,
+		Alpha:           s.alpha,
+		Mechanism:       s.mechanism,
+		Delta:           s.delta,
+		Events:          s.events,
+		CreatedUnixNano: s.created.UnixNano(),
+	}
 }

@@ -1,0 +1,439 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"priste/internal/world"
+)
+
+func testMeta(id string) SessionMeta {
+	return SessionMeta{
+		ID:        id,
+		Seed:      42,
+		Epsilon:   0.5,
+		Alpha:     1.0,
+		Mechanism: "laplace",
+		Events:    []string{"0-9@3-7"},
+	}
+}
+
+// appendTagged appends n steps with a consistent fingerprint chain
+// starting from fp and returns the final fingerprint.
+func appendTagged(t *testing.T, s Store, id string, gen uint64, startT int, fp uint64, tags []Tag, rng []byte) uint64 {
+	t.Helper()
+	for i, tag := range tags {
+		fp = world.FingerprintFold(fp, tag.AlphaBits, tag.Obs)
+		if err := s.AppendStep(id, gen, StepRecord{T: startT + i, Tag: tag, Fingerprint: fp, RNG: rng}); err != nil {
+			t.Fatalf("AppendStep %d: %v", startT+i, err)
+		}
+	}
+	return fp
+}
+
+// mustCreate journals a session and returns its generation token.
+func mustCreate(t *testing.T, s Store, meta SessionMeta) uint64 {
+	t.Helper()
+	gen, err := s.CreateSession(meta)
+	if err != nil {
+		t.Fatalf("CreateSession %s: %v", meta.ID, err)
+	}
+	return gen
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta("alice")
+	gen := mustCreate(t, s, meta)
+	tags := []Tag{{AlphaBits: 100, Obs: 3}, {AlphaBits: 0, Obs: 7}, {AlphaBits: 55, Obs: 1}}
+	rng := []byte("pcg:0123456789abcdef")
+	fp := appendTagged(t, s, "alice", gen, 0, world.FingerprintSeed, tags, rng)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	states, err := s2.LoadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 {
+		t.Fatalf("loaded %d sessions, want 1", len(states))
+	}
+	got := states[0]
+	if got.Meta.ID != "alice" || got.Meta.Seed != 42 || got.Meta.Mechanism != "laplace" {
+		t.Fatalf("meta = %+v", got.Meta)
+	}
+	if len(got.Tags) != len(tags) {
+		t.Fatalf("tags = %d, want %d", len(got.Tags), len(tags))
+	}
+	for i := range tags {
+		if got.Tags[i] != tags[i] {
+			t.Fatalf("tag %d = %+v, want %+v", i, got.Tags[i], tags[i])
+		}
+	}
+	if got.Fingerprint != fp {
+		t.Fatalf("fingerprint %#x, want %#x", got.Fingerprint, fp)
+	}
+	if string(got.RNG) != string(rng) {
+		t.Fatalf("rng = %q", got.RNG)
+	}
+	// The reloaded store keeps accepting appends for the session under
+	// its fresh generation.
+	appendTagged(t, s2, "alice", got.Gen, 3, fp, []Tag{{AlphaBits: 9, Obs: 0}}, nil)
+
+	// Re-creating the id mints a new generation; a stale writer holding
+	// the old token must not be able to touch the new journal.
+	if err := s2.DeleteSession("alice"); err != nil {
+		t.Fatal(err)
+	}
+	gen2 := mustCreate(t, s2, meta)
+	if gen2 == got.Gen {
+		t.Fatal("generation reused across incarnations")
+	}
+	if err := s2.AppendStep("alice", got.Gen, StepRecord{}); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("append under dead generation: %v, want ErrUnknownSession", err)
+	}
+	if err := s2.WriteSnapshot(SessionState{Meta: meta}, got.Gen); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("snapshot under dead generation: %v, want ErrUnknownSession", err)
+	}
+	appendTagged(t, s2, "alice", gen2, 0, world.FingerprintSeed, []Tag{{AlphaBits: 1, Obs: 1}}, nil)
+}
+
+func TestFileStoreSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta("bob")
+	gen := mustCreate(t, s, meta)
+	tags := []Tag{{AlphaBits: 1, Obs: 1}, {AlphaBits: 2, Obs: 2}}
+	fp := appendTagged(t, s, "bob", gen, 0, world.FingerprintSeed, tags, nil)
+	if err := s.WriteSnapshot(SessionState{Meta: meta, Tags: tags, Fingerprint: fp, RNG: []byte("state")}, gen); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot WAL suffix.
+	suffix := []Tag{{AlphaBits: 3, Obs: 3}}
+	fp = appendTagged(t, s, "bob", gen, 2, fp, suffix, nil)
+	// The compacted WAL holds only the suffix.
+	wal, err := os.ReadFile(s.walPath("bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wal) > 300 {
+		t.Fatalf("compacted WAL is %d bytes — rotation failed?", len(wal))
+	}
+	s.Close()
+
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	states, err := s2.LoadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || len(states[0].Tags) != 3 || states[0].Fingerprint != fp {
+		t.Fatalf("recovered %+v, want 3 tags fp %#x", states, fp)
+	}
+	if st := s2.Stats(); st.SessionsLoaded != 1 || st.LoadFailures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFileStoreTombstone(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := mustCreate(t, s, testMeta("gone"))
+	appendTagged(t, s, "gone", gen, 0, world.FingerprintSeed, []Tag{{AlphaBits: 4, Obs: 4}}, nil)
+	if err := s.DeleteSession("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendStep("gone", gen, StepRecord{}); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("append after delete: %v, want ErrUnknownSession", err)
+	}
+	if err := s.DeleteSession("never-existed"); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("delete of unknown id: %v, want ErrUnknownSession", err)
+	}
+	s.Close()
+
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	states, err := s2.LoadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 0 {
+		t.Fatalf("tombstoned session resurrected: %+v", states)
+	}
+}
+
+// TestFileStoreTornTail simulates a crash mid-append: the torn record is
+// dropped, the valid prefix survives, and appending resumes cleanly.
+func TestFileStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := mustCreate(t, s, testMeta("torn"))
+	tags := []Tag{{AlphaBits: 1, Obs: 1}, {AlphaBits: 2, Obs: 2}}
+	fp := appendTagged(t, s, "torn", gen, 0, world.FingerprintSeed, tags, nil)
+	s.Close()
+
+	// Tear the final record in half.
+	path := s.walPath("torn")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	states, err := s2.LoadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || len(states[0].Tags) != 1 {
+		t.Fatalf("recovered %+v, want 1 session with 1 tag", states)
+	}
+	if states[0].Fingerprint != world.FingerprintFold(world.FingerprintSeed, 1, 1) {
+		t.Fatalf("prefix fingerprint wrong: %#x", states[0].Fingerprint)
+	}
+	// A torn tail is a normal crash artifact, not corruption.
+	if st := s2.Stats(); st.CorruptSuffixes != 0 {
+		t.Fatalf("torn tail counted as corruption: %+v", st)
+	}
+	// Appends after recovery continue the prefix, not the torn record.
+	appendTagged(t, s2, "torn", states[0].Gen, 1, states[0].Fingerprint, []Tag{{AlphaBits: 8, Obs: 0}}, nil)
+	s2.Close()
+
+	s3, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	states, err = s3.LoadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || len(states[0].Tags) != 2 {
+		t.Fatalf("after resume: %+v, want 2 tags", states)
+	}
+	if states[0].Tags[1] != (Tag{AlphaBits: 8, Obs: 0}) {
+		t.Fatalf("resumed tag = %+v", states[0].Tags[1])
+	}
+	if fp == states[0].Fingerprint {
+		t.Fatal("fingerprint should differ from the untorn history")
+	}
+}
+
+// TestFileStoreBrokenChain: a record whose fingerprint does not extend
+// the chain ends the valid prefix.
+func TestFileStoreBrokenChain(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := mustCreate(t, s, testMeta("chain"))
+	fp := appendTagged(t, s, "chain", gen, 0, world.FingerprintSeed, []Tag{{AlphaBits: 1, Obs: 1}}, nil)
+	// Valid frame, wrong fingerprint.
+	if err := s.AppendStep("chain", gen, StepRecord{T: 1, Tag: Tag{AlphaBits: 2, Obs: 2}, Fingerprint: fp ^ 0xdead}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	states, err := s2.LoadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || len(states[0].Tags) != 1 {
+		t.Fatalf("recovered %+v, want the 1-tag prefix", states)
+	}
+	// Real corruption is counted and the damaged original preserved.
+	if st := s2.Stats(); st.CorruptSuffixes != 1 {
+		t.Fatalf("corrupt_suffixes = %d, want 1", st.CorruptSuffixes)
+	}
+	if _, err := os.Stat(s2.walPath("chain") + ".corrupt"); err != nil {
+		t.Fatalf("corrupt sidecar missing: %v", err)
+	}
+}
+
+func TestFileStoreCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got, err := s.LoadCache(); err != nil || got != nil {
+		t.Fatalf("LoadCache on empty store = %v, %v", got, err)
+	}
+	entries := []CacheEntry{
+		{PlanKey: "eps=0.5;alpha=1", Event: 0, T: 3, History: 12345, AlphaBits: 77, Obs: 4, Eq15OK: true, Eq16OK: true},
+		{PlanKey: "eps=0.5;alpha=1", Event: 1, T: 0, History: 99, AlphaBits: 0, Obs: 0, Eq15OK: false, Eq16OK: true},
+	}
+	if err := s.SaveCache(entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("loaded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+	// Corrupt cache file is ignored, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "certcache.snap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.LoadCache(); err != nil || got != nil {
+		t.Fatalf("corrupt cache: %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestFileStoreWeirdSessionIDs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "../../etc/passwd\x00/.."
+	gen := mustCreate(t, s, testMeta(id))
+	appendTagged(t, s, id, gen, 0, world.FingerprintSeed, []Tag{{AlphaBits: 5, Obs: 5}}, nil)
+	s.Close()
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	states, err := s2.LoadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].Meta.ID != id {
+		t.Fatalf("hostile id round-trip failed: %+v", states)
+	}
+}
+
+// TestFileStoreCorruptLoadBlocksRecreate: a session whose snapshot is
+// unreadable fails to load, but its files — the post-mortem evidence —
+// must not be silently wiped by a re-create; an explicit delete
+// reclaims the id.
+func TestFileStoreCorruptLoadBlocksRecreate(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta("hurt")
+	gen := mustCreate(t, s, meta)
+	fp := appendTagged(t, s, "hurt", gen, 0, world.FingerprintSeed, []Tag{{AlphaBits: 1, Obs: 1}}, nil)
+	if err := s.WriteSnapshot(SessionState{Meta: meta, Tags: []Tag{{AlphaBits: 1, Obs: 1}}, Fingerprint: fp}, gen); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.WriteFile(s.snapPath("hurt"), []byte("PRSNAP01garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	states, err := s2.LoadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 0 {
+		t.Fatalf("corrupt session loaded: %+v", states)
+	}
+	if st := s2.Stats(); st.LoadFailures != 1 {
+		t.Fatalf("load_failures = %d, want 1", st.LoadFailures)
+	}
+	if _, err := s2.CreateSession(meta); !errors.Is(err, ErrAlreadyJournaled) {
+		t.Fatalf("re-create over failed-load files: %v, want ErrAlreadyJournaled", err)
+	}
+	if _, err := os.Stat(s2.snapPath("hurt")); err != nil {
+		t.Fatalf("post-mortem snapshot gone: %v", err)
+	}
+	if err := s2.DeleteSession("hurt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.CreateSession(meta); err != nil {
+		t.Fatalf("create after explicit delete: %v", err)
+	}
+}
+
+// TestFileStoreDirLock: two stores must not journal into one directory.
+func TestFileStoreDirLock(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, false); err == nil {
+		t.Fatal("second Open on a locked directory succeeded")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatalf("Open after release: %v", err)
+	}
+	s2.Close()
+}
+
+func TestNullStore(t *testing.T) {
+	var s Null
+	if _, err := s.CreateSession(testMeta("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendStep("x", 0, StepRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	states, err := s.LoadSessions()
+	if err != nil || states != nil {
+		t.Fatalf("Null.LoadSessions = %v, %v", states, err)
+	}
+	if s.Stats().Enabled {
+		t.Fatal("Null store reports Enabled")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDir is a no-op on platforms without flock; single-writer
+// discipline is then the operator's responsibility.
+func lockDir(string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on <dir>/LOCK so two
+// processes cannot journal into the same store directory — concurrent
+// appenders with independent file offsets would silently shred each
+// other's WALs. Returns the held lock file; releasing is closing it.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: directory %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}

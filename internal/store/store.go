@@ -1,0 +1,188 @@
+// Package store is the pluggable durability layer behind pristed
+// sessions. A session's mutable engine state is fully determined by its
+// committed release-tag history — the (alphaBits, obs) pair of every
+// released timestamp — plus its RNG state (see core.Snapshot), so
+// durability is a thin, deterministic log rather than matrix
+// serialization: each session owns an append-only write-ahead log of
+// step records, periodically compacted into an atomic snapshot file, and
+// restarts rebuild live sessions by replaying the log through the shared
+// compiled core.Plan.
+//
+// Two implementations ship: FileStore (one WAL + snapshot file per
+// session under a directory, with optional per-append fsync) and Null
+// (in-memory no-op for deployments that accept losing sessions on
+// restart). The same store also persists the certified-release cache so
+// a restarted server starts warm.
+package store
+
+import "errors"
+
+// Sentinel errors.
+var (
+	// ErrUnknownSession reports an append for a session the store is not
+	// journaling (never created, tombstoned, or lost to corruption).
+	ErrUnknownSession = errors.New("store: unknown session")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("store: closed")
+	// ErrAlreadyJournaled reports a CreateSession for an id the store is
+	// already journaling (a live session, or a surviving journal whose
+	// session is not in memory). The caller decides whether that is a
+	// conflict or grounds for reclamation (DeleteSession first).
+	ErrAlreadyJournaled = errors.New("store: session already journaled")
+)
+
+// Tag is one committed release: math.Float64bits of the certified budget
+// (0 for the uniform fallback) and the released observation. It mirrors
+// core.ReleaseTag without importing the engine.
+type Tag struct {
+	AlphaBits uint64
+	Obs       int
+}
+
+// SessionMeta is the immutable identity of a journaled session — enough
+// for the serving layer to recompile the session's plan after a restart.
+type SessionMeta struct {
+	ID string `json:"id"`
+	// World canonically identifies the world model (grid, cell size,
+	// mobility) the session's releases were certified against. A restart
+	// under a different world must refuse to replay the session: its
+	// verdicts and history are meaningless there.
+	World           string   `json:"world,omitempty"`
+	Seed            int64    `json:"seed"`
+	Epsilon         float64  `json:"epsilon"`
+	Alpha           float64  `json:"alpha"`
+	Mechanism       string   `json:"mechanism"`
+	Delta           float64  `json:"delta,omitempty"`
+	Events          []string `json:"events"`
+	CreatedUnixNano int64    `json:"created_unix_nano"`
+}
+
+// StepRecord is one WAL entry: the committed tag of timestamp T, the
+// rolling history fingerprint after committing it (verified on load and
+// again after replay), and the post-step session RNG state.
+type StepRecord struct {
+	T           int
+	Tag         Tag
+	Fingerprint uint64
+	RNG         []byte
+}
+
+// SessionState is a complete persisted session: what LoadSessions
+// returns for rehydration and what WriteSnapshot compacts the WAL into.
+type SessionState struct {
+	Meta        SessionMeta
+	Tags        []Tag
+	Fingerprint uint64
+	RNG         []byte
+	// Gen is the journal generation LoadSessions (re-)opened this
+	// session under; pass it back to AppendStep/WriteSnapshot.
+	Gen uint64
+}
+
+// Steps returns the number of committed releases.
+func (s SessionState) Steps() int { return len(s.Tags) }
+
+// CacheEntry is one persisted certified-release verdict. Plan ids are
+// process-unique, so entries are keyed by the serving layer's canonical
+// plan-key string and remapped onto fresh plan ids on load. Only the
+// verdicts survive persistence — solver diagnostics (bounds, witness,
+// node counts) are dropped; a warm-loaded entry is verdict-for-verdict
+// identical to the entry that produced it.
+type CacheEntry struct {
+	PlanKey   string
+	Event     int
+	T         int
+	History   uint64
+	AlphaBits uint64
+	Obs       int
+	Eq15OK    bool
+	Eq16OK    bool
+}
+
+// Stats counts store activity for /statsz.
+type Stats struct {
+	// Enabled is false for the Null store.
+	Enabled bool `json:"enabled"`
+	// Appends counts step records written; AppendBytes their total size.
+	Appends     int64 `json:"appends"`
+	AppendBytes int64 `json:"append_bytes"`
+	// Fsyncs counts explicit data syncs (0 when running without -fsync).
+	Fsyncs int64 `json:"fsyncs"`
+	// Snapshots counts snapshot compactions; Tombstones deleted sessions.
+	Snapshots  int64 `json:"snapshots"`
+	Tombstones int64 `json:"tombstones"`
+	// SessionsLoaded counts sessions recovered by LoadSessions;
+	// LoadFailures counts persisted sessions skipped as corrupt.
+	SessionsLoaded int64 `json:"sessions_loaded"`
+	LoadFailures   int64 `json:"load_failures"`
+	// CorruptSuffixes counts WALs whose CRC-valid suffix failed the
+	// fingerprint chain, had a timestamp gap, or would not decode: the
+	// session loaded from the consistent prefix and the damaged original
+	// was preserved as a .corrupt sidecar.
+	CorruptSuffixes int64 `json:"corrupt_suffixes"`
+}
+
+// Store persists session release histories and the certified-release
+// cache. Implementations must be safe for concurrent use; appends for
+// one session are always issued by a single writer at a time (the
+// session's step worker).
+type Store interface {
+	// CreateSession starts journaling a session and returns the
+	// journal's generation token. Any stale state under the same id is
+	// discarded. The token scopes appends and snapshots to THIS
+	// incarnation of the id: a stale writer holding the token of a
+	// deleted session can never corrupt a re-created session's journal.
+	CreateSession(meta SessionMeta) (uint64, error)
+	// AppendStep appends one committed release to the session's WAL. The
+	// serving layer calls it write-ahead: before acknowledging the step.
+	// gen must match the id's current journal generation
+	// (ErrUnknownSession otherwise).
+	AppendStep(id string, gen uint64, rec StepRecord) error
+	// WriteSnapshot atomically replaces the session's snapshot with the
+	// full state and compacts the WAL to empty. gen as for AppendStep.
+	WriteSnapshot(state SessionState, gen uint64) error
+	// DeleteSession tombstones a session (explicit delete or eviction);
+	// a tombstoned session is never returned by LoadSessions.
+	DeleteSession(id string) error
+	// LoadSessions returns every surviving session for rehydration and
+	// re-opens their logs for appending. Call once, before any
+	// CreateSession/AppendStep.
+	LoadSessions() ([]SessionState, error)
+	// SaveCache atomically replaces the persisted certified-release
+	// cache; LoadCache returns it (nil when none was saved).
+	SaveCache(entries []CacheEntry) error
+	LoadCache() ([]CacheEntry, error)
+	Stats() Stats
+	Close() error
+}
+
+// Null is the in-memory no-op store: nothing is persisted and nothing is
+// recovered. The zero value is ready to use.
+type Null struct{}
+
+// CreateSession implements Store.
+func (Null) CreateSession(SessionMeta) (uint64, error) { return 0, nil }
+
+// AppendStep implements Store.
+func (Null) AppendStep(string, uint64, StepRecord) error { return nil }
+
+// WriteSnapshot implements Store.
+func (Null) WriteSnapshot(SessionState, uint64) error { return nil }
+
+// DeleteSession implements Store.
+func (Null) DeleteSession(string) error { return nil }
+
+// LoadSessions implements Store.
+func (Null) LoadSessions() ([]SessionState, error) { return nil, nil }
+
+// SaveCache implements Store.
+func (Null) SaveCache([]CacheEntry) error { return nil }
+
+// LoadCache implements Store.
+func (Null) LoadCache() ([]CacheEntry, error) { return nil, nil }
+
+// Stats implements Store.
+func (Null) Stats() Stats { return Stats{} }
+
+// Close implements Store.
+func (Null) Close() error { return nil }

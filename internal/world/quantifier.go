@@ -202,6 +202,11 @@ const (
 	fpPrime  uint64 = 1099511628211
 )
 
+// FingerprintSeed is the rolling history fingerprint of an empty release
+// history (the FNV-1a offset basis). A quantifier that has committed
+// nothing reports exactly this value.
+const FingerprintSeed uint64 = fpOffset
+
 // fpFold mixes one 64-bit word into the fingerprint byte-wise.
 func fpFold(fp, word uint64) uint64 {
 	for shift := 0; shift < 64; shift += 8 {
@@ -209,6 +214,15 @@ func fpFold(fp, word uint64) uint64 {
 		fp *= fpPrime
 	}
 	return fp
+}
+
+// FingerprintFold folds one (alphaBits, obs) release tag into a rolling
+// history fingerprint, exactly as CommitTagged does. It lets persistence
+// layers verify a tag log's fingerprint chain without instantiating a
+// quantifier: folding a session's tags in order from FingerprintSeed must
+// reproduce the fingerprint its quantifiers report.
+func FingerprintFold(fp, alphaBits uint64, obs int) uint64 {
+	return fpFold(fpFold(fp, alphaBits), uint64(obs))
 }
 
 // HistoryFingerprint returns the rolling fingerprint of the release tags
@@ -228,7 +242,7 @@ func (q *Quantifier) CommitTagged(emis mat.Vector, alphaBits uint64, obs int) er
 	if err := q.Commit(emis); err != nil {
 		return err
 	}
-	q.fp = fpFold(fpFold(q.fp, alphaBits), uint64(obs))
+	q.fp = FingerprintFold(q.fp, alphaBits, obs)
 	return nil
 }
 

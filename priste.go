@@ -41,7 +41,6 @@ package priste
 
 import (
 	"io"
-	"math/rand"
 	"net/http"
 
 	"priste/internal/attack"
@@ -57,6 +56,7 @@ import (
 	"priste/internal/mat"
 	"priste/internal/qp"
 	"priste/internal/server"
+	"priste/internal/store"
 	"priste/internal/trace"
 	"priste/internal/world"
 )
@@ -261,8 +261,21 @@ type (
 // one-second conservative-release threshold.
 func DefaultConfig(epsilon, alpha float64) Config { return core.DefaultConfig(epsilon, alpha) }
 
+// Rand is the random source a session draws candidate observations
+// from; both math/rand and math/rand/v2 generators satisfy it. Durable
+// sessions use SessionRNG, whose state is binary-marshalable.
+type Rand = core.Rand
+
+// SessionRNG is a binary-marshalable PCG session RNG: persisted sessions
+// resume the exact candidate sequence of an uninterrupted run.
+type SessionRNG = core.SessionRNG
+
+// NewSessionRNG returns a session RNG deterministically derived from
+// seed.
+func NewSessionRNG(seed int64) *SessionRNG { return core.NewSessionRNG(seed) }
+
 // NewFramework builds a release loop protecting the given events.
-func NewFramework(mech Mechanism, tp TransitionProvider, events []Event, cfg Config, rng *rand.Rand) (*Framework, error) {
+func NewFramework(mech Mechanism, tp TransitionProvider, events []Event, cfg Config, rng Rand) (*Framework, error) {
 	return core.New(mech, tp, events, cfg, rng)
 }
 
@@ -341,6 +354,32 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 func NewServerClient(baseURL string, httpClient *http.Client) *ServerClient {
 	return server.NewClient(baseURL, httpClient)
 }
+
+// Durability: sessions survive restarts through a pluggable store — an
+// append-only per-session WAL of committed release tags plus periodic
+// snapshots — replayed deterministically through the shared compiled
+// Plan on startup (see Plan.Restore and ServerConfig.Store).
+type (
+	// Store is the session durability backend.
+	Store = store.Store
+	// FileStore is the default file-backed store (one WAL + snapshot per
+	// session under a directory).
+	FileStore = store.FileStore
+	// NullStore is the in-memory no-op store.
+	NullStore = store.Null
+	// SessionSnapshot is a complete serialisable image of one session's
+	// mutable engine state.
+	SessionSnapshot = core.Snapshot
+	// ReleaseTag is one committed (budget, observation) release pair.
+	ReleaseTag = core.ReleaseTag
+	// StoreStats counts store activity for /statsz.
+	StoreStats = store.Stats
+)
+
+// OpenStore opens (creating if needed) a file-backed session store
+// rooted at dir. With fsync true every WAL append is synced to stable
+// storage before the step is acknowledged.
+func OpenStore(dir string, fsync bool) (*FileStore, error) { return store.Open(dir, fsync) }
 
 // Inference extras.
 type (

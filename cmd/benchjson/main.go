@@ -1,0 +1,137 @@
+// Command benchjson runs the repository's benchmark suite and writes the
+// parsed results as a JSON document, so the perf trajectory (steps/sec,
+// ns/op, allocs/op) is tracked as a build artifact from PR to PR instead
+// of living in commit messages.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-out BENCH_PR4.json] [-benchtime 1x] \
+//	    [-spec "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan"]
+//
+// Each -spec entry is package=benchRegexp; the default covers the mat
+// and world kernel benchmarks plus the root serving benchmarks.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Package    string `json:"package"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value, e.g. "ns/op", "allocs/op", "B/op",
+	// "steps/sec", "commits/sec".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the output document.
+type Doc struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Benchtime   string   `json:"benchtime,omitempty"`
+	Results     []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output file")
+	benchtime := flag.String("benchtime", "", "passed to go test -benchtime; empty = default")
+	spec := flag.String("spec", "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan",
+		"comma-separated package=benchRegexp entries")
+	flag.Parse()
+
+	doc := Doc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Benchtime:   *benchtime,
+	}
+	for _, entry := range strings.Split(*spec, ",") {
+		pkg, re, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: bad spec entry %q (want package=regexp)\n", entry)
+			os.Exit(2)
+		}
+		results, err := runPackage(pkg, re, *benchtime)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		doc.Results = append(doc.Results, results...)
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// runPackage executes the package's benchmarks and parses the output.
+func runPackage(pkg, benchRe, benchtime string) ([]Result, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, outBuf.String())
+	}
+	var results []Result
+	sc := bufio.NewScanner(&outBuf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(pkg, sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-P  N  v1 unit1  v2 unit2 ..." line.
+func parseLine(pkg, line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Package:    pkg,
+		Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

@@ -9,6 +9,7 @@
 //
 //	pristed [-addr :8377] [-grid 10] [-cell 1.0] [-sigma 1.0] \
 //	    [-eps 0.5] [-alpha 1.0] [-delta -1] [-event "0-9@3-7"]... \
+//	    [-sparse-cutoff 0] [-kernel auto] \
 //	    [-max-sessions 4096] [-session-ttl 15m] [-workers 0] [-queue 64] \
 //	    [-cert-cache 65536] \
 //	    [-store-dir /var/lib/pristed] [-fsync] [-snapshot-every 256]
@@ -68,6 +69,8 @@ func main() {
 		storeDir    = flag.String("store-dir", "", "session durability directory (WAL + snapshots); empty = in-memory only")
 		fsync       = flag.Bool("fsync", false, "fsync every WAL append before acknowledging the step (requires -store-dir)")
 		snapEvery   = flag.Int("snapshot-every", server.DefaultSnapshotEvery, "compact a session's WAL into a snapshot every N steps; negative disables")
+		cutoff      = flag.Float64("sparse-cutoff", 0, "drop mobility transitions below cutoff*(row max) and renormalise, making the chain sparse; 0 keeps the exact Gaussian kernel")
+		kernel      = flag.String("kernel", server.KernelAuto, "transition-kernel compilation: auto, dense or sparse (forced)")
 	)
 	flag.Var(&events, "event", `default PRESENCE spec "LO-HI@START-END" (repeatable)`)
 	flag.Parse()
@@ -87,6 +90,8 @@ func main() {
 	cfg.Epsilon = *eps
 	cfg.Alpha = *alpha
 	cfg.QPTimeout = *qpTimeout
+	cfg.SparseCutoff = *cutoff
+	cfg.Kernel = *kernel
 	cfg.MaxSessions = *maxSessions
 	cfg.SessionTTL = *sessionTTL
 	cfg.Workers = *workers

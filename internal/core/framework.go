@@ -46,6 +46,13 @@ type Config struct {
 	// QPTol is the positivity tolerance of the condition solver; zero
 	// uses the solver default.
 	QPTol float64
+	// Kernel selects the transition-kernel compilation mode for the
+	// plan's world models: world.KernelAuto (the default) compiles a
+	// transition matrix to CSR when it is sparse enough and keeps it
+	// dense otherwise; KernelDense and KernelSparse force one path. The
+	// paths are bit-for-bit equivalent, so this is purely a performance
+	// knob (and a regression-test hook).
+	Kernel world.KernelMode
 }
 
 func (c Config) validate() error {
@@ -116,6 +123,12 @@ type Framework struct {
 	quants []*world.Quantifier
 	rng    Rand
 	t      int
+
+	// colBuf is the scratch emission column of the candidate loop: one
+	// buffer per session instead of one allocation per candidate. Safe
+	// because the framework is single-writer and no callee retains the
+	// column (see lppm.Perturber.Observe).
+	colBuf mat.Vector
 
 	// tags is the committed release history: one (alphaBits, obs) pair
 	// per released timestamp. Together with the plan it fully determines
@@ -213,7 +226,7 @@ func (f *Framework) Step(trueLoc int) (StepResult, error) {
 		if err != nil {
 			return StepResult{}, fmt.Errorf("core: sampling: %w", err)
 		}
-		col := em.Col(obs)
+		col := em.ColInto(f.colBuf, obs)
 		ok, conservative, dur, err := f.checkAll(t, math.Float64bits(alpha), obs, col, relOpts)
 		res.CheckTime += dur
 		if err != nil {

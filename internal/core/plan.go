@@ -102,7 +102,7 @@ func NewPlan(mf MechanismFactory, tp world.TransitionProvider, events []event.Ev
 		p.shared = proto
 	}
 	for _, ev := range events {
-		md, err := world.NewModel(tp, ev)
+		md, err := world.NewModelWithOptions(tp, ev, world.ModelOptions{Kernel: p.cfg.Kernel})
 		if err != nil {
 			return nil, fmt.Errorf("core: event %v: %w", ev, err)
 		}
@@ -136,6 +136,17 @@ func (p *Plan) States() int { return p.m }
 // Stateless reports whether the plan's mechanism is history-independent
 // (one shared instance, certified verdicts cacheable across sessions).
 func (p *Plan) Stateless() bool { return p.stateless }
+
+// KernelStats aggregates the compiled step kernels across the plan's
+// world models: how many transition matrices took the sparse (CSR) path
+// versus the dense one, and at what density.
+func (p *Plan) KernelStats() world.KernelStats {
+	var s world.KernelStats
+	for _, md := range p.models {
+		s = s.Add(md.KernelStats())
+	}
+	return s
+}
 
 // EnableCache attaches a certified-release cache. It is a no-op for
 // stateful mechanisms, whose verdicts depend on per-session state and
@@ -181,9 +192,10 @@ func (p *Plan) NewSession(rng Rand) (*Framework, error) {
 		}
 	}
 	f := &Framework{
-		plan: p,
-		mech: mech,
-		rng:  rng,
+		plan:   p,
+		mech:   mech,
+		rng:    rng,
+		colBuf: mat.NewVector(p.m),
 	}
 	for _, md := range p.models {
 		f.quants = append(f.quants, world.NewQuantifier(md))
@@ -239,7 +251,7 @@ func (p *Plan) Restore(snap Snapshot, rng Rand) (*Framework, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: replay t=%d: emission at alpha=%g: %w", t, alpha, err)
 			}
-			col = em.Col(tag.Obs)
+			col = em.ColInto(f.colBuf, tag.Obs)
 		}
 		if err := f.commit(t, tag.Obs, tag.AlphaBits, col); err != nil {
 			return nil, fmt.Errorf("core: replay t=%d: %w", t, err)

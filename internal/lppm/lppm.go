@@ -45,7 +45,10 @@ type Perturber interface {
 	// column actually used for the release — col[i] = Pr(obs | u = s_i) —
 	// which may come from a different matrix than the last Emission call
 	// (the PriSTE framework falls back to a uniform release when the
-	// budget underflows).
+	// budget underflows). col may be a caller-owned scratch buffer that
+	// is overwritten after Observe returns (the framework's candidate
+	// loop reuses one buffer per session); implementations must not
+	// retain it and must copy what they need.
 	Observe(t, obs int, col mat.Vector) error
 }
 

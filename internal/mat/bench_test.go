@@ -51,6 +51,67 @@ func BenchmarkVecMul(b *testing.B) {
 	}
 }
 
+// benchSparse returns an n×n matrix with ~nnzPerRow nonzeros per row —
+// the structure of a local grid mobility kernel.
+func benchSparse(n, nnzPerRow int) *Matrix {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for k := 0; k < nnzPerRow; k++ {
+			row[rng.Intn(n)] = rng.Float64()
+		}
+	}
+	return m
+}
+
+// BenchmarkCSRMulVec measures the sparse matvec against the dense one at
+// the candidate-check shape (m=400, ~5 neighbours per state).
+func BenchmarkCSRMulVec(b *testing.B) {
+	const n = 400
+	m := benchSparse(n, 5)
+	s := CSRFromDense(m)
+	x := NewVector(n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	dst := NewVector(n)
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.MulVecInto(dst, x)
+		}
+	})
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.MulVecInto(dst, x)
+		}
+	})
+}
+
+// BenchmarkMulCSRInto measures the Commit-update product A·M (dense ×
+// sparse) against the dense kernel at the same shape.
+func BenchmarkMulCSRInto(b *testing.B) {
+	const n = 400
+	m := benchSparse(n, 5)
+	s := CSRFromDense(m)
+	a := benchMatrix(n)
+	dst := NewMatrix(n, n)
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MulInto(dst, a, m)
+		}
+	})
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MulCSRInto(dst, a, s)
+		}
+	})
+}
+
 // BenchmarkSymEigen measures the Jacobi eigensolver (QP diagnostics only;
 // not on the release hot path).
 func BenchmarkSymEigen(b *testing.B) {

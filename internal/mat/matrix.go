@@ -56,13 +56,21 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns row i as a slice aliasing the matrix storage.
 func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
 
-// Col returns a copy of column j.
+// Col returns a copy of column j. Hot paths that extract a column per
+// call should use ColInto with a reused buffer instead.
 func (m *Matrix) Col(j int) Vector {
-	v := NewVector(m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		v[i] = m.Data[i*m.Cols+j]
+	return m.ColInto(NewVector(m.Rows), j)
+}
+
+// ColInto stores column j into dst and returns dst.
+func (m *Matrix) ColInto(dst Vector, j int) Vector {
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: ColInto len(dst)=%d want %d", len(dst), m.Rows))
 	}
-	return v
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
+	return dst
 }
 
 // Clone returns a deep copy of m.
@@ -179,32 +187,9 @@ func MulInto(dst, a, b *Matrix) {
 	}
 	// ~2·10⁷ multiply-adds amortise goroutine start-up comfortably.
 	const parallelFlops = 1 << 24
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 1 && a.Rows > 1 && int64(a.Rows)*int64(a.Cols)*int64(b.Cols) >= parallelFlops {
-		if workers > a.Rows {
-			workers = a.Rows
-		}
-		var wg sync.WaitGroup
-		chunk := (a.Rows + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > a.Rows {
-				hi = a.Rows
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				mulRows(dst, a, b, lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
-		return
-	}
-	mulRows(dst, a, b, 0, a.Rows)
+	ParallelRows(a.Rows, int64(a.Rows)*int64(a.Cols)*int64(b.Cols), parallelFlops, func(lo, hi int) {
+		mulRows(dst, a, b, lo, hi)
+	})
 }
 
 // mulRows computes rows [lo,hi) of dst = a·b.
@@ -230,6 +215,86 @@ func mulRows(dst, a, b *Matrix, lo, hi int) {
 
 func sameBacking(a, b []float64) bool {
 	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// ParallelRows runs body over [0,rows), split across CPUs when the
+// multiply-add count reaches cutoff and serially otherwise. Each row is
+// produced by exactly one goroutine, so row-wise kernels stay
+// bit-deterministic regardless of the split.
+func ParallelRows(rows int, flops, cutoff int64, body func(lo, hi int)) {
+	ParallelRowsMax(rows, flops, cutoff, func(lo, hi int) float64 {
+		body(lo, hi)
+		return 0
+	})
+}
+
+// ParallelRowsMax is ParallelRows for row-chunk bodies that also reduce
+// a maximum (e.g. the largest absolute entry written): it returns the max
+// of the per-chunk results. The reduction is exact, so the result does
+// not depend on the split.
+func ParallelRowsMax(rows int, flops, cutoff int64, body func(lo, hi int) float64) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || rows <= 1 || flops < cutoff {
+		return body(0, rows)
+	}
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	maxes := make([]float64, workers)
+	var wg sync.WaitGroup
+	used := 0
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		used++
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			maxes[w] = body(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := maxes[0]
+	for _, v := range maxes[1:used] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ScaleRowsMaxInto is ScaleRowsInto fused with a MaxAbs reduction over
+// the result: it stores diag(d)·a into dst and returns the largest
+// absolute element written, saving the hot loop a second full pass.
+// dst may alias a.
+func ScaleRowsMaxInto(dst, a *Matrix, d Vector) float64 {
+	if len(d) != a.Rows {
+		panic(fmt.Sprintf("mat: ScaleRowsMax len(d)=%d want %d", len(d), a.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("mat: ScaleRowsMax dst shape mismatch")
+	}
+	var best float64
+	for i := 0; i < a.Rows; i++ {
+		src := a.Data[i*a.Cols : (i+1)*a.Cols]
+		out := dst.Data[i*a.Cols : (i+1)*a.Cols]
+		di := d[i]
+		for j, v := range src {
+			s := v * di
+			out[j] = s
+			if s := math.Abs(s); s > best {
+				best = s
+			}
+		}
+	}
+	return best
 }
 
 // ScaleColsInto stores a·diag(d) into dst (column j scaled by d[j]) and

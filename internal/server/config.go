@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"priste/internal/store"
+	"priste/internal/world"
 )
 
 // Default service limits.
@@ -53,6 +54,21 @@ type Config struct {
 	// release loop; zero means no limit (fully deterministic stepping).
 	QPTimeout time.Duration
 
+	// SparseCutoff, when positive, drops mobility-chain transition
+	// probabilities below cutoff×(row maximum) and renormalises each row
+	// at startup (markov.Chain.Sparsified). The Gaussian kernel is
+	// mathematically dense, so without a cutoff the quantifier runs on
+	// the dense kernels; a small cutoff (e.g. 1e-4) makes the chain
+	// structurally sparse and the release loop O(m·nnz) instead of
+	// O(m³) per commit. Changing the cutoff changes the world model:
+	// persisted sessions are scoped to it (see worldTag).
+	SparseCutoff float64
+	// Kernel selects the transition-kernel compilation mode:
+	// KernelAuto (default, empty string), KernelDense or KernelSparse.
+	// Dense and sparse kernels are bit-for-bit equivalent; forcing one
+	// is a performance/regression knob, not a semantic one.
+	Kernel string
+
 	// MaxSessions caps live sessions; creating one more evicts the least
 	// recently used session. Default DefaultMaxSessions.
 	MaxSessions int
@@ -89,6 +105,28 @@ const (
 	MechanismLaplace = "laplace"
 	MechanismDelta   = "delta"
 )
+
+// Kernel modes accepted by Config.Kernel.
+const (
+	KernelAuto   = "auto"
+	KernelDense  = "dense"
+	KernelSparse = "sparse"
+)
+
+// kernelMode maps the config string onto the world compilation mode.
+func (c Config) kernelMode() (world.KernelMode, error) {
+	switch c.Kernel {
+	case "", KernelAuto:
+		return world.KernelAuto, nil
+	case KernelDense:
+		return world.KernelDense, nil
+	case KernelSparse:
+		return world.KernelSparse, nil
+	default:
+		return 0, fmt.Errorf("server: unknown kernel mode %q (want %q, %q or %q)",
+			c.Kernel, KernelAuto, KernelDense, KernelSparse)
+	}
+}
 
 // DefaultConfig returns a small default deployment: 10×10 km map,
 // unit-scale Gaussian mobility, geo-indistinguishability at ε=0.5, α=1,
@@ -160,6 +198,12 @@ func (c Config) validate() error {
 		}
 	default:
 		return fmt.Errorf("server: unknown mechanism %q (want %q or %q)", c.Mechanism, MechanismLaplace, MechanismDelta)
+	}
+	if c.SparseCutoff < 0 || c.SparseCutoff >= 1 || math.IsNaN(c.SparseCutoff) {
+		return fmt.Errorf("server: sparse cutoff %g outside [0,1)", c.SparseCutoff)
+	}
+	if _, err := c.kernelMode(); err != nil {
+		return err
 	}
 	if len(c.Events) == 0 {
 		return fmt.Errorf("server: at least one default event spec is required")

@@ -13,6 +13,7 @@ import (
 	"priste/internal/grid"
 	"priste/internal/qp"
 	"priste/internal/store"
+	"priste/internal/world"
 )
 
 // maxPlans bounds the registry. A deployment normally sees a handful of
@@ -301,14 +302,33 @@ type PlanStats struct {
 	Compiled int64 `json:"compiled"`
 	// SharedHits counts session creations served by an existing plan.
 	SharedHits int64 `json:"shared_hits"`
+	// SparseKernels and DenseKernels count the compiled transition
+	// kernels across retained plans by path (see world.KernelStats);
+	// KernelDensity is their mean per-kernel density. They report which
+	// path the release hot loop actually runs on.
+	SparseKernels int64   `json:"sparse_kernels"`
+	DenseKernels  int64   `json:"dense_kernels"`
+	KernelDensity float64 `json:"kernel_density"`
 }
 
 // Stats returns the registry counters.
 func (r *PlanRegistry) Stats() PlanStats {
+	var ks world.KernelStats
+	r.mu.Lock()
+	live := len(r.plans)
+	for _, e := range r.plans {
+		if e.plan != nil {
+			ks = ks.Add(e.plan.KernelStats())
+		}
+	}
+	r.mu.Unlock()
 	return PlanStats{
-		Live:       int64(r.Len()),
-		Compiled:   r.compiled.Load(),
-		SharedHits: r.shared.Load(),
+		Live:          int64(live),
+		Compiled:      r.compiled.Load(),
+		SharedHits:    r.shared.Load(),
+		SparseKernels: int64(ks.Sparse),
+		DenseKernels:  int64(ks.Dense),
+		KernelDensity: ks.Density,
 	}
 }
 

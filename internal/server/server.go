@@ -90,6 +90,12 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: mobility chain: %w", err)
 	}
+	if cfg.SparseCutoff > 0 {
+		chain, err = chain.Sparsified(cfg.SparseCutoff)
+		if err != nil {
+			return nil, fmt.Errorf("server: sparsify mobility chain: %w", err)
+		}
+	}
 	// Fail fast on an unparsable default event set.
 	if _, err := eventspec.ParseAll(cfg.Events, g.States(), 0); err != nil {
 		return nil, err
@@ -104,7 +110,15 @@ func New(cfg Config) (*Server, error) {
 		cache = certcache.New(cfg.CertCacheSize)
 	}
 	_, isNull := cfg.Store.(store.Null)
+	// The sparse cutoff changes the transition probabilities, so it is
+	// part of the world identity; cutoff 0 keeps the pre-cutoff tag so
+	// existing journals stay replayable. The kernel mode is NOT part of
+	// the tag: dense and sparse kernels over the same chain are
+	// bit-equivalent, so journals move freely between them.
 	worldTag := fmt.Sprintf("grid=%dx%d;cell=%g;sigma=%g", cfg.GridW, cfg.GridH, cfg.Cell, cfg.Sigma)
+	if cfg.SparseCutoff > 0 {
+		worldTag += fmt.Sprintf(";cutoff=%g", cfg.SparseCutoff)
+	}
 	s := &Server{
 		cfg:         cfg,
 		g:           g,
@@ -617,6 +631,8 @@ func (s *Server) buildPlan(eps, alpha float64, mechName string, delta float64, e
 	return s.registry.lookup(key, func() (*core.Plan, error) {
 		coreCfg := core.DefaultConfig(eps, alpha)
 		coreCfg.QPTimeout = s.cfg.QPTimeout
+		// Validated in New; the zero mode (auto) is the error fallback.
+		coreCfg.Kernel, _ = s.cfg.kernelMode()
 		return core.NewPlan(mf, s.tp, events, coreCfg)
 	})
 }

@@ -84,6 +84,116 @@ func BenchmarkQuantifierCheck(b *testing.B) {
 	}
 }
 
+// kernelBenchCase is one mobility-chain/kernel combination at m=400.
+// "gauss/dense" is the pre-PR serving state: the exact Gaussian kernel
+// has no structural zeros, so every commit pays the full O(m³) dense
+// update. "trunc/sparse" is the new serving configuration (pristed
+// -sparse-cutoff): negligible Gaussian tails dropped at chain build, the
+// quantifier on CSR kernels. The walk pair compares the two kernel
+// paths over one identical (bit-equivalent) sparse world.
+type kernelBenchCase struct {
+	name  string
+	chain func(g *grid.Grid) (*markov.Chain, error)
+	mode  KernelMode
+}
+
+func kernelBenchCases() []kernelBenchCase {
+	gauss := func(g *grid.Grid) (*markov.Chain, error) { return markov.GaussianChain(g, 1) }
+	trunc := func(g *grid.Grid) (*markov.Chain, error) {
+		c, err := markov.GaussianChain(g, 1)
+		if err != nil {
+			return nil, err
+		}
+		return c.Sparsified(1e-4)
+	}
+	walk := func(g *grid.Grid) (*markov.Chain, error) { return markov.LazyRandomWalk(g, 0.4) }
+	return []kernelBenchCase{
+		{"chain=gauss/kernel=dense", gauss, KernelDense},
+		{"chain=trunc/kernel=sparse", trunc, KernelSparse},
+		{"chain=walk/kernel=dense", walk, KernelDense},
+		{"chain=walk/kernel=sparse", walk, KernelSparse},
+	}
+}
+
+// benchCaseSetup builds the case's 20×20 (m=400) model and 20
+// planar-Laplace emission columns.
+func benchCaseSetup(b *testing.B, bc kernelBenchCase) (*Model, []mat.Vector) {
+	b.Helper()
+	g := grid.MustNew(20, 20, 1)
+	chain, err := bc.chain(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	region, err := grid.RegionRange(g.States(), 0, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := event.MustNewPresence(region, 3, 7)
+	md, err := NewModelWithOptions(NewHomogeneous(chain), ev, ModelOptions{Kernel: bc.mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plm := lppm.NewPlanarLaplace(g)
+	em, err := plm.Emission(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cols := make([]mat.Vector, 20)
+	for i := range cols {
+		cols[i] = em.Col(rng.Intn(g.States()))
+	}
+	return md, cols
+}
+
+// BenchmarkCommit measures the per-timestamp operator update (Theorem
+// IV.1) at the paper's m=400 map: one iteration commits a 20-step
+// trajectory crossing the window entry, the in-window updates and the
+// backward phase. commits/sec is the per-timestamp rate.
+func BenchmarkCommit(b *testing.B) {
+	for _, bc := range kernelBenchCases() {
+		b.Run(bc.name+"/m400", func(b *testing.B) {
+			md, cols := benchCaseSetup(b, bc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := NewQuantifier(md)
+				for _, c := range cols {
+					if err := q.Commit(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(len(cols))/b.Elapsed().Seconds(), "commits/sec")
+		})
+	}
+}
+
+// BenchmarkCheck measures one mid-window candidate check at m=400 —
+// the per-attempt cost of the LPPM candidate loop. The check path is
+// zero-allocation: b̃/c̃ and every matvec intermediate live in
+// quantifier-owned scratch.
+func BenchmarkCheck(b *testing.B) {
+	for _, bc := range kernelBenchCases() {
+		b.Run(bc.name+"/m400", func(b *testing.B) {
+			md, cols := benchCaseSetup(b, bc)
+			q := NewQuantifier(md)
+			for _, c := range cols[:5] {
+				if err := q.Commit(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Check(cols[6]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPrior measures Lemma III.1 (suffix products at model build).
 func BenchmarkPrior(b *testing.B) {
 	for _, side := range []int{10, 20} {

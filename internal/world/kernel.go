@@ -1,0 +1,178 @@
+package world
+
+import "priste/internal/mat"
+
+// KernelMode selects how a Model compiles its per-timestamp transition
+// matrices into step kernels.
+type KernelMode int
+
+const (
+	// KernelAuto compiles a matrix to CSR when its density is at or
+	// below the sparse threshold and keeps it dense otherwise. The two
+	// paths are bit-for-bit equivalent (see mat.CSR), so the choice is
+	// purely a performance decision.
+	KernelAuto KernelMode = iota
+	// KernelDense forces the dense kernels (baseline / regression mode).
+	KernelDense
+	// KernelSparse forces CSR regardless of density (test mode; a dense
+	// matrix through CSR is slower, not wrong).
+	KernelSparse
+)
+
+// String implements fmt.Stringer.
+func (m KernelMode) String() string {
+	switch m {
+	case KernelAuto:
+		return "auto"
+	case KernelDense:
+		return "dense"
+	case KernelSparse:
+		return "sparse"
+	default:
+		return "KernelMode(?)"
+	}
+}
+
+// DefaultSparseThreshold is the density at or below which KernelAuto
+// compiles a transition matrix to CSR. CSR multiply-adds carry an index
+// load each, so the break-even sits near 0.4–0.5 density; 0.25 leaves
+// margin. Local mobility models (random walks, trained chains, truncated
+// Gaussian kernels) sit far below it; an untruncated Gaussian chain is
+// structurally dense and stays on the dense path.
+const DefaultSparseThreshold = 0.25
+
+// ModelOptions tunes model compilation.
+type ModelOptions struct {
+	// Kernel selects the transition-kernel compilation mode.
+	Kernel KernelMode
+	// SparseThreshold overrides DefaultSparseThreshold for KernelAuto;
+	// zero or negative uses the default.
+	SparseThreshold float64
+}
+
+func (o ModelOptions) threshold() float64 {
+	if o.SparseThreshold > 0 {
+		return o.SparseThreshold
+	}
+	return DefaultSparseThreshold
+}
+
+// MatrixLister is an optional TransitionProvider extension enumerating
+// every distinct matrix the provider can return. Model compilation uses
+// it to build the complete step-kernel set (CSR forms and transposes)
+// up front, keeping the quantifier hot path lock- and allocation-free.
+// Both built-in providers implement it; a provider that does not is
+// probed over an initial window and falls back to per-call compilation
+// beyond it.
+type MatrixLister interface {
+	DistinctMatrices() []*mat.Matrix
+}
+
+// stepKernel is one compiled transition matrix: the original dense form
+// plus either its CSR form and CSR transpose (sparse path) or its dense
+// transpose (dense path). For kernels retained in a Model's map the
+// transpose is precomputed at compile time — once per Model, replacing
+// the per-quantifier transpose cache that grew with the horizon under
+// time-inhomogeneous chains. Kernels compiled on a cache miss (exotic
+// providers only; call-private, never shared) defer it until the
+// backward phase actually needs it.
+type stepKernel struct {
+	dense  *mat.Matrix
+	denseT *mat.Matrix // non-nil iff csr == nil (once materialised)
+	csr    *mat.CSR    // non-nil on the sparse path
+	csrT   *mat.CSR
+}
+
+// compileKernel builds the kernel for one transition matrix. lazyT
+// defers the transpose; pass false for kernels that will be shared
+// (the transpose write in transMulMatInto is only safe call-private).
+func compileKernel(m *mat.Matrix, opts ModelOptions, lazyT bool) *stepKernel {
+	k := &stepKernel{dense: m}
+	switch opts.Kernel {
+	case KernelDense:
+	case KernelSparse:
+		k.csr = mat.CSRFromDense(m)
+	default:
+		if c := mat.CSRFromDense(m); c.Density() <= opts.threshold() {
+			k.csr = c
+		}
+	}
+	if !lazyT {
+		k.materialiseTranspose()
+	}
+	return k
+}
+
+// materialiseTranspose fills the path-appropriate transpose.
+func (k *stepKernel) materialiseTranspose() {
+	if k.csr != nil {
+		k.csrT = k.csr.Transpose()
+	} else {
+		k.denseT = k.dense.Transpose()
+	}
+}
+
+// sparse reports whether the kernel runs on the CSR path.
+func (k *stepKernel) sparse() bool { return k.csr != nil }
+
+// mulVecInto stores M·x into dst. dst must not alias x.
+func (k *stepKernel) mulVecInto(dst, x mat.Vector) {
+	if k.csr != nil {
+		k.csr.MulVecInto(dst, x)
+		return
+	}
+	k.dense.MulVecInto(dst, x)
+}
+
+// matMulInto stores a·M into dst (the forward Commit update X = A·M).
+// dst must not alias a.
+func (k *stepKernel) matMulInto(dst, a *mat.Matrix) {
+	if k.csr != nil {
+		mat.MulCSRInto(dst, a, k.csr)
+		return
+	}
+	mat.MulInto(dst, a, k.dense)
+}
+
+// transMulMatInto stores Mᵀ·b into dst (the backward Commit update).
+// dst must not alias b.
+func (k *stepKernel) transMulMatInto(dst, b *mat.Matrix) {
+	if k.csrT == nil && k.denseT == nil {
+		// Lazily-compiled (call-private) kernel: first backward use.
+		k.materialiseTranspose()
+	}
+	if k.csrT != nil {
+		k.csrT.MulMatInto(dst, b)
+		return
+	}
+	mat.MulInto(dst, k.denseT, b)
+}
+
+// KernelStats summarises a model's (or plan's) compiled step kernels.
+type KernelStats struct {
+	// Sparse and Dense count compiled kernels by path.
+	Sparse int `json:"sparse"`
+	Dense  int `json:"dense"`
+	// NNZ is the total nonzeros retained across sparse kernels.
+	NNZ int64 `json:"nnz"`
+	// Density is the mean per-kernel density; a dense-path kernel
+	// counts as 1 regardless of its zero pattern.
+	Density float64 `json:"density"`
+}
+
+// Add merges o into s (entries-weighted density) and returns the result.
+func (s KernelStats) Add(o KernelStats) KernelStats {
+	se := s.entries()
+	oe := o.entries()
+	s.Sparse += o.Sparse
+	s.Dense += o.Dense
+	s.NNZ += o.NNZ
+	if se+oe > 0 {
+		s.Density = (s.Density*se + o.Density*oe) / (se + oe)
+	}
+	return s
+}
+
+func (s KernelStats) entries() float64 {
+	return float64(s.Sparse + s.Dense)
+}

@@ -21,9 +21,10 @@ import (
 // the released observation's emission column.
 //
 // To avoid underflow over long horizons the internal operators are
-// renormalised after every commit; b̃ and c̃ therefore carry a shared
-// unknown scale exp(LogScale), which cancels in the Theorem IV.1
-// conditions and is exposed for callers needing absolute probabilities.
+// renormalised whenever their magnitude drifts out of a wide safe band
+// (see renormalise); b̃ and c̃ therefore carry a shared unknown scale
+// exp(LogScale), which cancels in the Theorem IV.1 conditions and is
+// exposed for callers needing absolute probabilities.
 type Quantifier struct {
 	md *Model
 
@@ -40,28 +41,36 @@ type Quantifier struct {
 
 	atilde mat.Vector
 
-	// scratch
-	tmp1, tmp2, tmp3 mat.Vector
+	// scratch. Check and Current are zero-allocation: each writes its
+	// b̃/c̃ into its own pair of reusable buffers (checkB/checkC and
+	// curB/curC), which the returned ReleaseCheck aliases — see the
+	// ownership contract on Check. tmp1/tmp2/uvec hold matvec
+	// intermediates; mx/my the Commit matrix products.
+	tmp1, tmp2, uvec mat.Vector
+	checkB, checkC   mat.Vector
+	curB, curC       mat.Vector
 	mx, my           *mat.Matrix
-	trCache          map[*mat.Matrix]*mat.Matrix
 }
 
 // NewQuantifier returns a fresh quantifier at time 0.
 func NewQuantifier(md *Model) *Quantifier {
 	m := md.m
 	return &Quantifier{
-		md:      md,
-		fp:      fpOffset,
-		af:      mat.NewMatrix(m, m),
-		at:      mat.NewMatrix(m, m),
-		b1:      mat.Identity(m),
-		atilde:  md.ATilde(),
-		tmp1:    mat.NewVector(m),
-		tmp2:    mat.NewVector(m),
-		tmp3:    mat.NewVector(m),
-		mx:      mat.NewMatrix(m, m),
-		my:      mat.NewMatrix(m, m),
-		trCache: make(map[*mat.Matrix]*mat.Matrix, 2),
+		md:     md,
+		fp:     fpOffset,
+		af:     mat.NewMatrix(m, m),
+		at:     mat.NewMatrix(m, m),
+		b1:     mat.Identity(m),
+		atilde: md.ATilde(),
+		tmp1:   mat.NewVector(m),
+		tmp2:   mat.NewVector(m),
+		uvec:   mat.NewVector(m),
+		checkB: mat.NewVector(m),
+		checkC: mat.NewVector(m),
+		curB:   mat.NewVector(m),
+		curC:   mat.NewVector(m),
+		mx:     mat.NewMatrix(m, m),
+		my:     mat.NewMatrix(m, m),
 	}
 }
 
@@ -78,13 +87,19 @@ func (q *Quantifier) ATilde() mat.Vector { return q.atilde }
 // Check computes the Theorem IV.1 vectors for observing a candidate with
 // emission column emis (emis[i] = Pr(o | u_t = s_i)) at the quantifier's
 // current timestamp, without committing it.
+//
+// Zero-allocation contract: the returned b̃/c̃ alias buffers owned by the
+// quantifier and are overwritten by the next Check call (Commit and
+// Current leave them intact). The LPPM candidate loop calls Check once
+// per candidate and consumes the result before the next draw, so the
+// reuse is free; callers needing the vectors past the next Check must
+// clone them.
 func (q *Quantifier) Check(emis mat.Vector) (qp.ReleaseCheck, error) {
 	if err := q.validateEmission(emis); err != nil {
 		return qp.ReleaseCheck{}, err
 	}
 	m := q.md.m
-	b := mat.NewVector(m)
-	c := mat.NewVector(m)
+	b, c := q.checkB, q.checkC
 	switch {
 	case q.t == 0:
 		// b̃ᵢ = emisᵢ·ãᵢ, c̃ᵢ = emisᵢ.
@@ -94,29 +109,30 @@ func (q *Quantifier) Check(emis mat.Vector) (qp.ReleaseCheck, error) {
 		}
 	case q.t <= q.md.end:
 		ft, tt := q.md.stepMasks(q.t - 1)
-		tr := q.md.tp.Matrix(q.t - 1)
+		k := q.md.kernel(q.t - 1)
 		vF, vT := q.md.vF[q.t], q.md.vT[q.t]
 		// uF = M·((1−ft)∘(emis∘vF) + ft∘(emis∘vT))
 		for i := 0; i < m; i++ {
 			q.tmp1[i] = emis[i] * ((1-ft[i])*vF[i] + ft[i]*vT[i])
 		}
-		uF := tr.MulVec(q.tmp1)
+		k.mulVecInto(q.uvec, q.tmp1)
+		q.af.MulVecInto(b, q.uvec)
+		// uT likewise with the true-world mask.
 		for i := 0; i < m; i++ {
 			q.tmp1[i] = emis[i] * ((1-tt[i])*vF[i] + tt[i]*vT[i])
 		}
-		uT := tr.MulVec(q.tmp1)
-		q.af.MulVecInto(b, uF)
-		q.at.MulVecInto(q.tmp2, uT)
+		k.mulVecInto(q.uvec, q.tmp1)
+		q.at.MulVecInto(q.tmp2, q.uvec)
 		b.AddInto(b, q.tmp2)
 		// c̃ = (A_F + A_T)·(M·emis)
-		cu := tr.MulVec(emis)
-		q.af.MulVecInto(c, cu)
-		q.at.MulVecInto(q.tmp2, cu)
+		k.mulVecInto(q.uvec, emis)
+		q.af.MulVecInto(c, q.uvec)
+		q.at.MulVecInto(q.tmp2, q.uvec)
 		c.AddInto(c, q.tmp2)
 	default: // q.t > end
-		tr := q.md.tp.Matrix(q.t - 1)
-		me := tr.MulVec(emis)
-		z := q.b1.VecMul(me) // row: (M·emis)ᵀ·B₁
+		k := q.md.kernel(q.t - 1)
+		k.mulVecInto(q.uvec, emis)
+		z := q.b1.VecMulInto(q.tmp2, q.uvec) // row: (M·emis)ᵀ·B₁
 		q.at.MulVecInto(b, z)
 		q.af.MulVecInto(c, z)
 		c.AddInto(c, b)
@@ -126,10 +142,11 @@ func (q *Quantifier) Check(emis mat.Vector) (qp.ReleaseCheck, error) {
 
 // Current returns the Theorem IV.1 vectors for the already-committed
 // observation prefix (no candidate). Before any commit, b̃ = ã and c̃ = 1.
+// Like Check, the returned b̃/c̃ alias quantifier-owned buffers (a
+// separate pair, so a held Check result survives a Commit+Current) and
+// are overwritten by the next Current call.
 func (q *Quantifier) Current() qp.ReleaseCheck {
-	m := q.md.m
-	b := mat.NewVector(m)
-	c := mat.NewVector(m)
+	b, c := q.curB, q.curC
 	switch {
 	case q.t == 0:
 		copy(b, q.atilde)
@@ -145,7 +162,7 @@ func (q *Quantifier) Current() qp.ReleaseCheck {
 		q.at.MulVecInto(q.tmp2, q.md.ones)
 		c.AddInto(c, q.tmp2)
 	default:
-		z := q.b1.VecMul(q.md.ones)
+		z := q.b1.VecMulInto(q.tmp2, q.md.ones)
 		q.at.MulVecInto(b, z)
 		q.af.MulVecInto(c, z)
 		c.AddInto(c, b)
@@ -154,46 +171,79 @@ func (q *Quantifier) Current() qp.ReleaseCheck {
 }
 
 // Commit folds the released observation's emission column into the
-// quantifier state and advances time.
+// quantifier state and advances time. Each branch computes the largest
+// absolute operator entry as a byproduct of its final write pass, so the
+// renormalisation check costs no extra sweep.
 func (q *Quantifier) Commit(emis mat.Vector) error {
 	if err := q.validateEmission(emis); err != nil {
 		return err
 	}
 	m := q.md.m
+	var scale float64
 	switch {
 	case q.t == 0:
 		mask0 := q.md.mask0
 		q.af.Zero()
 		q.at.Zero()
 		for i := 0; i < m; i++ {
-			q.af.Set(i, i, (1-mask0[i])*emis[i])
-			q.at.Set(i, i, mask0[i]*emis[i])
+			f := (1 - mask0[i]) * emis[i]
+			tr := mask0[i] * emis[i]
+			q.af.Set(i, i, f)
+			q.at.Set(i, i, tr)
+			scale = math.Max(scale, math.Max(math.Abs(f), math.Abs(tr)))
 		}
 	case q.t <= q.md.end:
 		ft, tt := q.md.stepMasks(q.t - 1)
-		tr := q.md.tp.Matrix(q.t - 1)
-		mat.MulInto(q.mx, q.af, tr) // X = A_F·M
-		mat.MulInto(q.my, q.at, tr) // Y = A_T·M
-		// A_F' = X·diag(1−ft) + Y·diag(1−tt), A_T' = X·diag(ft) + Y·diag(tt),
-		// then both column-scaled by the emission.
-		for i := 0; i < m; i++ {
+		k := q.md.kernel(q.t - 1)
+		k.matMulInto(q.mx, q.af) // X = A_F·M
+		k.matMulInto(q.my, q.at) // Y = A_T·M
+		scale = q.maskAndScale(ft, tt, emis)
+	default: // q.t > end: B₁ ← diag(emis)·Mᵀ·B₁
+		k := q.md.kernel(q.t - 1)
+		k.transMulMatInto(q.mx, q.b1)
+		scale = mat.ScaleRowsMaxInto(q.b1, q.mx, emis)
+	}
+	q.t++
+	q.renormalise(scale)
+	return nil
+}
+
+// maskFlopsCutoff is the multiply-add count above which maskAndScale
+// splits its rows across CPUs: with the matrix products on the sparse
+// path this O(m²) loop dominates Commit, and at the paper's m=400 the
+// 4·m² ≈ 6.4·10⁵ multiply-adds comfortably amortise goroutine start-up.
+const maskFlopsCutoff = 1 << 17
+
+// maskAndScale folds the step masks and the emission column into the
+// forward blocks: A_F' = X·diag(1−ft) + Y·diag(1−tt), A_T' = X·diag(ft)
+// + Y·diag(tt), both column-scaled by the emission, and returns the
+// largest absolute entry written (fused so renormalisation needs no
+// second sweep of the operators). Rows are independent, so the split is
+// bit-deterministic; the max reduction is exact under any split.
+func (q *Quantifier) maskAndScale(ft, tt, emis mat.Vector) float64 {
+	m := q.md.m
+	return mat.ParallelRowsMax(m, 4*int64(m)*int64(m), maskFlopsCutoff, func(lo, hi int) float64 {
+		var best float64
+		for i := lo; i < hi; i++ {
 			xr := q.mx.Row(i)
 			yr := q.my.Row(i)
 			fr := q.af.Row(i)
 			trw := q.at.Row(i)
 			for j := 0; j < m; j++ {
-				fr[j] = (xr[j]*(1-ft[j]) + yr[j]*(1-tt[j])) * emis[j]
-				trw[j] = (xr[j]*ft[j] + yr[j]*tt[j]) * emis[j]
+				f := (xr[j]*(1-ft[j]) + yr[j]*(1-tt[j])) * emis[j]
+				tr := (xr[j]*ft[j] + yr[j]*tt[j]) * emis[j]
+				fr[j] = f
+				trw[j] = tr
+				if f = math.Abs(f); f > best {
+					best = f
+				}
+				if tr = math.Abs(tr); tr > best {
+					best = tr
+				}
 			}
 		}
-	default: // q.t > end: B₁ ← diag(emis)·Mᵀ·B₁
-		trT := q.transpose(q.md.tp.Matrix(q.t - 1))
-		mat.MulInto(q.mx, trT, q.b1)
-		mat.ScaleRowsInto(q.b1, q.mx, emis)
-	}
-	q.t++
-	q.renormalise()
-	return nil
+		return best
+	})
 }
 
 // FNV-1a parameters for the rolling history fingerprint.
@@ -246,38 +296,37 @@ func (q *Quantifier) CommitTagged(emis mat.Vector, alphaBits uint64, obs int) er
 	return nil
 }
 
-// renormalise rescales the active operator so its largest entry is 1,
-// accumulating the factor in logScale. A zero operator (an impossible
-// observation sequence) is left as-is; Check/Current then return all-zero
-// b̃/c̃, which CheckRelease treats as trivially safe.
-func (q *Quantifier) renormalise() {
-	var scale float64
+// Lazy-renormalisation band: the rescale exists only to keep the
+// operators away from floating-point under/overflow over long horizons,
+// so it fires when the largest entry leaves [1e-100, 1e100] instead of
+// on every commit — the O(m²) Scale pass drops off the hot path. The
+// m-term matvec sums of Check have ~1e208 of headroom left above the
+// band, and entries more than ~1e208 below the committed maximum flush
+// to denormals exactly as they would have under per-commit rescaling.
+const (
+	rescaleLo = 1e-100
+	rescaleHi = 1e100
+)
+
+// renormalise rescales the active operator so its largest entry — scale,
+// computed by Commit as a byproduct of its final write pass — becomes 1,
+// accumulating the factor in logScale; it is a no-op while scale sits
+// inside the lazy band. A zero operator (an impossible observation
+// sequence) is left as-is; Check/Current then return all-zero b̃/c̃,
+// which CheckRelease treats as trivially safe. Both kernel paths commit
+// bit-identical operators, so they rescale at the same timestamps by the
+// same factors.
+func (q *Quantifier) renormalise(scale float64) {
+	if scale == 0 || (scale >= rescaleLo && scale <= rescaleHi) {
+		return
+	}
 	if q.t-1 <= q.md.end {
-		scale = math.Max(q.af.MaxAbs(), q.at.MaxAbs())
-		if scale == 0 || scale == 1 {
-			return
-		}
 		q.af.Scale(1 / scale)
 		q.at.Scale(1 / scale)
 	} else {
-		scale = q.b1.MaxAbs()
-		if scale == 0 || scale == 1 {
-			return
-		}
 		q.b1.Scale(1 / scale)
 	}
 	q.logScale += math.Log(scale)
-}
-
-func (q *Quantifier) transpose(m *mat.Matrix) *mat.Matrix {
-	if t, ok := q.trCache[m]; ok {
-		return t
-	}
-	t := m.Transpose()
-	if len(q.trCache) < 64 {
-		q.trCache[m] = t
-	}
-	return t
 }
 
 func (q *Quantifier) validateEmission(emis mat.Vector) error {

@@ -56,6 +56,11 @@ func (h *Homogeneous) States() int { return h.chain.States() }
 // Matrix implements TransitionProvider.
 func (h *Homogeneous) Matrix(int) *mat.Matrix { return h.chain.Matrix() }
 
+// DistinctMatrices implements MatrixLister: one matrix for every step.
+func (h *Homogeneous) DistinctMatrices() []*mat.Matrix {
+	return []*mat.Matrix{h.chain.Matrix()}
+}
+
 // Varying is a TransitionProvider backed by an explicit per-step matrix
 // list; step t uses Matrices[min(t, len-1)]. It supports the paper's
 // footnote 3 (time-varying Markov models).
@@ -94,6 +99,9 @@ func (v *Varying) Matrix(t int) *mat.Matrix {
 	return v.Matrices[t]
 }
 
+// DistinctMatrices implements MatrixLister.
+func (v *Varying) DistinctMatrices() []*mat.Matrix { return v.Matrices }
+
 // Model binds an event to a mobility model and precomputes the suffix
 // vectors used by both the prior and the streaming quantifier.
 type Model struct {
@@ -114,10 +122,23 @@ type Model struct {
 	mask0 mat.Vector
 
 	ones, zeros mat.Vector
+
+	// kernels holds the compiled step kernel of every distinct
+	// transition matrix. The map is completed at compile time and never
+	// written afterwards, so quantifier reads need no lock.
+	opts    ModelOptions
+	kernels map[*mat.Matrix]*stepKernel
+	kstats  KernelStats
 }
 
-// NewModel validates the combination and precomputes suffix vectors.
+// NewModel validates the combination and precomputes suffix vectors with
+// default (automatic) kernel compilation.
 func NewModel(tp TransitionProvider, ev event.Event) (*Model, error) {
+	return NewModelWithOptions(tp, ev, ModelOptions{})
+}
+
+// NewModelWithOptions is NewModel with explicit compilation options.
+func NewModelWithOptions(tp TransitionProvider, ev event.Event, opts ModelOptions) (*Model, error) {
 	m := tp.States()
 	if ev.States() != m {
 		return nil, fmt.Errorf("world: event over %d states, chain has %d", ev.States(), m)
@@ -127,13 +148,78 @@ func NewModel(tp TransitionProvider, ev event.Event) (*Model, error) {
 		tp: tp, ev: ev, m: m,
 		start: start, end: end,
 		ones: mat.Ones(m), zeros: mat.NewVector(m),
+		opts: opts,
 	}
 	md.mask0 = md.zeros
 	if start == 0 {
 		md.mask0 = ev.RegionAt(0).Mask()
 	}
+	md.compileKernels()
 	md.computeSuffix()
 	return md, nil
+}
+
+// kernelProbeLimit bounds the Matrix(t) probe used to enumerate the step
+// matrices of a provider without DistinctMatrices — and therefore the
+// kernels (each carrying a precomputed transpose) such a provider can
+// pin. A provider synthesizing a fresh matrix per call retains at most
+// this many useless kernels and falls back to per-call compilation,
+// which defers the transpose until the backward phase needs it.
+const kernelProbeLimit = 64
+
+// compileKernels builds the step kernel (CSR form or dense transpose) of
+// every distinct transition matrix the provider can return. Providers
+// implementing MatrixLister are compiled exhaustively; others are probed
+// over the first kernelProbeLimit steps — a matrix first appearing beyond
+// the probe window falls back to uncached per-call compilation in
+// kernel(), which is correct but allocates.
+func (md *Model) compileKernels() {
+	var distinct []*mat.Matrix
+	if l, ok := md.tp.(MatrixLister); ok {
+		distinct = l.DistinctMatrices()
+	} else {
+		seen := make(map[*mat.Matrix]bool)
+		for t := 0; t < kernelProbeLimit; t++ {
+			if m := md.tp.Matrix(t); !seen[m] {
+				seen[m] = true
+				distinct = append(distinct, m)
+			}
+		}
+	}
+	md.kernels = make(map[*mat.Matrix]*stepKernel, len(distinct))
+	for _, m := range distinct {
+		if _, ok := md.kernels[m]; ok {
+			continue
+		}
+		k := compileKernel(m, md.opts, false)
+		md.kernels[m] = k
+		md.foldKernelStats(k)
+	}
+}
+
+func (md *Model) foldKernelStats(k *stepKernel) {
+	one := KernelStats{Dense: 1, Density: 1}
+	if k.sparse() {
+		one = KernelStats{Sparse: 1, NNZ: int64(k.csr.NNZ()), Density: k.csr.Density()}
+	}
+	md.kstats = md.kstats.Add(one)
+}
+
+// KernelStats reports the compiled step kernels (how many took the
+// sparse vs the dense path, and at what density).
+func (md *Model) KernelStats() KernelStats { return md.kstats }
+
+// kernel returns the compiled kernel for the transition from time t to
+// t+1. The compile-time map covers every matrix of a MatrixLister
+// provider (and the probe window of any other); a miss compiles on the
+// fly without caching — correct for exotic providers at the cost of
+// allocation, with the transpose deferred until the backward phase.
+func (md *Model) kernel(t int) *stepKernel {
+	m := md.tp.Matrix(t)
+	if k, ok := md.kernels[m]; ok {
+		return k
+	}
+	return compileKernel(m, md.opts, true)
 }
 
 // States returns m.
@@ -175,19 +261,19 @@ func (md *Model) computeSuffix() {
 	tmp := mat.NewVector(md.m)
 	for t := md.end - 1; t >= 0; t-- {
 		ft, tt := md.stepMasks(t)
-		m := md.tp.Matrix(t)
+		k := md.kernel(t)
 		nf := mat.NewVector(md.m)
 		nt := mat.NewVector(md.m)
 		// vF[t] = M·((1−ft)∘vF[t+1] + ft∘vT[t+1])
 		for i := 0; i < md.m; i++ {
 			tmp[i] = (1-ft[i])*md.vF[t+1][i] + ft[i]*md.vT[t+1][i]
 		}
-		m.MulVecInto(nf, tmp)
+		k.mulVecInto(nf, tmp)
 		// vT[t] = M·((1−tt)∘vF[t+1] + tt∘vT[t+1])
 		for i := 0; i < md.m; i++ {
 			tmp[i] = (1-tt[i])*md.vF[t+1][i] + tt[i]*md.vT[t+1][i]
 		}
-		m.MulVecInto(nt, tmp)
+		k.mulVecInto(nt, tmp)
 		md.vF[t], md.vT[t] = nf, nt
 	}
 }

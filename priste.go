@@ -217,6 +217,22 @@ type (
 	ReleaseOptions = qp.ReleaseOptions
 	// ReleaseDecision is the certified outcome for one candidate.
 	ReleaseDecision = qp.ReleaseDecision
+	// KernelMode selects how transition matrices compile into step
+	// kernels (auto / dense / sparse CSR); the paths are bit-equivalent.
+	KernelMode = world.KernelMode
+	// QuantModelOptions tunes quantification-model compilation.
+	QuantModelOptions = world.ModelOptions
+	// KernelStats reports compiled kernels by path (sparse vs dense).
+	KernelStats = world.KernelStats
+	// SparseMatrix is the compressed-sparse-row kernel format.
+	SparseMatrix = mat.CSR
+)
+
+// Kernel compilation modes.
+const (
+	KernelAuto   = world.KernelAuto
+	KernelDense  = world.KernelDense
+	KernelSparse = world.KernelSparse
 )
 
 // Homogeneous wraps a time-homogeneous chain as a TransitionProvider.
@@ -226,6 +242,12 @@ func Homogeneous(c *Chain) TransitionProvider { return world.NewHomogeneous(c) }
 // event under a mobility model.
 func NewQuantModel(tp TransitionProvider, ev Event) (*QuantModel, error) {
 	return world.NewModel(tp, ev)
+}
+
+// NewQuantModelWithOptions is NewQuantModel with explicit kernel
+// compilation options.
+func NewQuantModelWithOptions(tp TransitionProvider, ev Event, opts QuantModelOptions) (*QuantModel, error) {
+	return world.NewModelWithOptions(tp, ev, opts)
 }
 
 // NewQuantifier returns a fresh streaming quantifier at time 0.

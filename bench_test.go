@@ -7,6 +7,7 @@ package priste_test
 import (
 	"context"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -205,10 +206,9 @@ func BenchmarkSharedPlanManySessions(b *testing.B) {
 	}
 }
 
-// BenchmarkServerStep measures serving-path throughput: parallel goroutines
-// each own one pristed session over the in-process HTTP API and step a
-// random walk; one iteration is one certified release round-trip.
-func BenchmarkServerStep(b *testing.B) {
+// benchServer starts a benchmark-scale pristed server.
+func benchServer(b *testing.B) (*priste.Server, priste.ServerConfig) {
+	b.Helper()
 	cfg := priste.DefaultServerConfig()
 	cfg.GridW, cfg.GridH = 6, 6
 	cfg.Events = []string{"0-5@2-4"}
@@ -217,16 +217,23 @@ func BenchmarkServerStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	b.Cleanup(srv.Close)
+	return srv, cfg
+}
 
+// benchSteps drives the serving path through any transport's client:
+// parallel goroutines each own one pristed session and step a random
+// walk; one iteration is one certified release round-trip. Shared by the
+// HTTP and RPC serving benchmarks so BENCH_PR5.json records the two
+// transports over identical work.
+func benchSteps(b *testing.B, cfg priste.ServerConfig, dial func() priste.APIClient) {
 	var nextSession atomic.Int64
 	m := cfg.GridW * cfg.GridH
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := time.Now()
 	b.RunParallel(func(pb *testing.PB) {
-		client := priste.NewServerClient(ts.URL, &http.Client{})
+		client := dial()
 		ctx := context.Background()
 		seed := nextSession.Add(1)
 		info, err := client.CreateSession(ctx, priste.CreateSessionRequest{Seed: &seed})
@@ -241,5 +248,38 @@ func BenchmarkServerStep(b *testing.B) {
 				return
 			}
 		}
+	})
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "steps/sec")
+}
+
+// BenchmarkServerStep measures HTTP/JSON serving-path throughput.
+func BenchmarkServerStep(b *testing.B) {
+	srv, cfg := benchServer(b)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	benchSteps(b, cfg, func() priste.APIClient {
+		return priste.NewServerClient(ts.URL, &http.Client{})
+	})
+}
+
+// BenchmarkServerStepRPC is BenchmarkServerStep over the binary RPC
+// transport: same server, same workload, persistent per-connection
+// streams instead of per-request HTTP/JSON.
+func BenchmarkServerStepRPC(b *testing.B) {
+	srv, cfg := benchServer(b)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rpcSrv := priste.NewRPCServer(srv)
+	go func() { _ = rpcSrv.Serve(lis) }()
+	defer rpcSrv.Close()
+	benchSteps(b, cfg, func() priste.APIClient {
+		client, err := priste.DialRPC(lis.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { client.Close() })
+		return client
 	})
 }

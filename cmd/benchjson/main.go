@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_PR4.json] [-benchtime 1x] \
+//	go run ./cmd/benchjson [-out BENCH_PR5.json] [-benchtime 1x] \
 //	    [-spec "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan"]
 //
 // Each -spec entry is package=benchRegexp; the default covers the mat
-// and world kernel benchmarks plus the root serving benchmarks.
+// and world kernel benchmarks plus the root serving benchmarks — the
+// ServerStep pattern picks up both transports (BenchmarkServerStep over
+// HTTP and BenchmarkServerStepRPC over the binary RPC protocol), so the
+// document records HTTP-vs-RPC steps/sec side by side.
 package main
 
 import (
@@ -46,7 +49,7 @@ type Doc struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output file")
+	out := flag.String("out", "BENCH_PR5.json", "output file")
 	benchtime := flag.String("benchtime", "", "passed to go test -benchtime; empty = default")
 	spec := flag.String("spec", "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan",
 		"comma-separated package=benchRegexp entries")

@@ -1,0 +1,188 @@
+// Command pristectl is the CLI front-end of the pristed API: a third
+// transport consumer next to the HTTP and RPC clients, written entirely
+// against the transport-neutral api.Client interface — the same
+// interface the conformance tests run — so every subcommand works
+// identically over HTTP/JSON (-http) and the binary RPC protocol
+// (-rpc).
+//
+// Usage:
+//
+//	pristectl [-http http://127.0.0.1:8377 | -rpc 127.0.0.1:8378] <command> [args]
+//
+// Commands:
+//
+//	create [-id ID] [-seed N] [-eps E] [-alpha A] [-mech M] [-delta D] [-event SPEC]...
+//	get ID                 session state
+//	step ID LOC            release one location
+//	delete ID              close a session
+//	list [-limit N] [-cursor C]
+//	export ID              write the session's migratable state to stdout
+//	import                 read an exported session from stdin and register it
+//	stats                  service counters
+//	health                 liveness probe
+//
+// Every command prints its response as JSON on stdout, so a migration is
+// a shell pipeline:
+//
+//	pristectl -http http://a:8377 export alice | pristectl -http http://b:8377 import
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"priste/internal/api"
+	"priste/internal/eventspec"
+	"priste/internal/rpc"
+	"priste/internal/server"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pristectl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func main() {
+	httpBase := flag.String("http", "http://127.0.0.1:8377", "pristed HTTP base URL")
+	rpcAddr := flag.String("rpc", "", "pristed RPC address (overrides -http when set)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-command timeout")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pristectl [-http URL | -rpc ADDR] <create|get|step|delete|list|export|import|stats|health> [args]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// One api.Client, two transports: the subcommands cannot tell them
+	// apart.
+	var client api.Client
+	if *rpcAddr != "" {
+		c, err := rpc.Dial(*rpcAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer c.Close()
+		client = c
+	} else {
+		client = server.NewClient(*httpBase, nil)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "create":
+		runCreate(ctx, client, args)
+	case "get":
+		info, err := client.Session(ctx, oneArg(cmd, args))
+		exit(info, err)
+	case "step":
+		if len(args) != 2 {
+			fatalf("usage: step ID LOC")
+		}
+		loc, err := strconv.Atoi(args[1])
+		if err != nil {
+			fatalf("bad location %q", args[1])
+		}
+		res, err := client.Step(ctx, args[0], loc)
+		exit(res, err)
+	case "delete":
+		if err := client.DeleteSession(ctx, oneArg(cmd, args)); err != nil {
+			fatalf("%v", err)
+		}
+		printJSON(map[string]string{"deleted": args[0]})
+	case "list":
+		runList(ctx, client, args)
+	case "export":
+		exp, err := client.ExportSession(ctx, oneArg(cmd, args))
+		exit(exp, err)
+	case "import":
+		var exp api.SessionExport
+		if err := json.NewDecoder(os.Stdin).Decode(&exp); err != nil {
+			fatalf("decode export from stdin: %v", err)
+		}
+		info, err := client.ImportSession(ctx, exp)
+		exit(info, err)
+	case "stats":
+		st, err := client.Stats(ctx)
+		exit(st, err)
+	case "health":
+		if err := client.Health(ctx); err != nil {
+			fatalf("%v", err)
+		}
+		printJSON(map[string]string{"status": "ok"})
+	default:
+		fatalf("unknown command %q", cmd)
+	}
+}
+
+func oneArg(cmd string, args []string) string {
+	if len(args) != 1 {
+		fatalf("usage: %s ID", cmd)
+	}
+	return args[0]
+}
+
+func exit(v any, err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printJSON(v)
+}
+
+func runCreate(ctx context.Context, client api.Client, args []string) {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	var events eventspec.ListFlag
+	id := fs.String("id", "", "session id (random when empty)")
+	seed := fs.Int64("seed", 0, "session RNG seed; unset draws a random one")
+	eps := fs.Float64("eps", 0, "epsilon (0 = server default)")
+	alpha := fs.Float64("alpha", 0, "initial budget (0 = server default)")
+	mech := fs.String("mech", "", "mechanism (laplace or delta; empty = server default)")
+	delta := fs.Float64("delta", -1, "delta-location-set parameter; negative = server default")
+	fs.Var(&events, "event", `protected-event spec "LO-HI@START-END" (repeatable)`)
+	_ = fs.Parse(args)
+
+	req := api.CreateSessionRequest{
+		ID:        *id,
+		Epsilon:   *eps,
+		Alpha:     *alpha,
+		Mechanism: *mech,
+		Events:    events,
+	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+	if seedSet {
+		req.Seed = seed
+	}
+	if *delta >= 0 {
+		req.Delta = delta
+	}
+	info, err := client.CreateSession(ctx, req)
+	exit(info, err)
+}
+
+func runList(ctx context.Context, client api.Client, args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	limit := fs.Int("limit", 0, "page size (0 = server default)")
+	cursor := fs.String("cursor", "", "resume cursor from the previous page")
+	_ = fs.Parse(args)
+	page, err := client.ListSessions(ctx, api.ListSessionsRequest{Limit: *limit, Cursor: *cursor})
+	exit(page, err)
+}

@@ -1,14 +1,18 @@
-// Command pristed is the PriSTE release daemon: a long-lived HTTP/JSON
-// service managing many independent per-user privacy sessions, each a
-// full PriSTE release loop (core.Framework) with its own RNG, mechanism
-// and protected-event set. Steps from different users run concurrently
-// on a worker pool; each session stays single-writer with FIFO ordering
-// and bounded-queue backpressure.
+// Command pristed is the PriSTE release daemon: a long-lived service
+// managing many independent per-user privacy sessions, each a full
+// PriSTE release loop (core.Framework) with its own RNG, mechanism and
+// protected-event set. Steps from different users run concurrently on a
+// worker pool; each session stays single-writer with FIFO ordering and
+// bounded-queue backpressure. One server serves two transports over the
+// same versioned API (internal/api): HTTP/JSON on -addr and, with
+// -rpc-addr set, the length-prefixed binary RPC protocol (internal/rpc)
+// whose persistent per-connection streams skip per-request HTTP/JSON
+// overhead on the hot step path.
 //
 // Usage:
 //
-//	pristed [-addr :8377] [-grid 10] [-cell 1.0] [-sigma 1.0] \
-//	    [-eps 0.5] [-alpha 1.0] [-delta -1] [-event "0-9@3-7"]... \
+//	pristed [-addr :8377] [-rpc-addr :8378] [-grid 10] [-cell 1.0] \
+//	    [-sigma 1.0] [-eps 0.5] [-alpha 1.0] [-delta -1] [-event "0-9@3-7"]... \
 //	    [-sparse-cutoff 0] [-kernel auto] \
 //	    [-max-sessions 4096] [-session-ttl 15m] [-workers 0] [-queue 64] \
 //	    [-cert-cache 65536] \
@@ -22,15 +26,19 @@
 // stable storage. On SIGTERM the daemon drains pending steps, flushes
 // final snapshots and only then exits.
 //
-// API:
+// HTTP API (the RPC transport carries the same surface; see
+// internal/rpc for the framing):
 //
-//	POST   /v1/sessions           {"seed":1,"events":["0-9@3-7"]}
-//	POST   /v1/sessions/{id}/step {"loc":42}
-//	POST   /v1/step               {"steps":[{"session_id":"..","loc":42},...]}
-//	GET    /v1/sessions/{id}      session state
-//	DELETE /v1/sessions/{id}      close a session
-//	GET    /healthz               liveness
-//	GET    /statsz                counters (sessions, steps, latency)
+//	POST   /v1/sessions             {"seed":1,"events":["0-9@3-7"]}
+//	GET    /v1/sessions             list sessions (limit/cursor)
+//	POST   /v1/sessions/{id}/step   {"loc":42}
+//	POST   /v1/step                 {"steps":[{"session_id":"..","loc":42},...]}
+//	GET    /v1/sessions/{id}        session state
+//	DELETE /v1/sessions/{id}        close a session
+//	GET    /v1/sessions/{id}/export export for migration
+//	POST   /v1/sessions/import      import a migrated session
+//	GET    /healthz                 liveness
+//	GET    /statsz                  counters (sessions, steps, latency, transports)
 package main
 
 import (
@@ -39,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +55,7 @@ import (
 	"time"
 
 	"priste/internal/eventspec"
+	"priste/internal/rpc"
 	"priste/internal/server"
 	"priste/internal/store"
 )
@@ -53,7 +63,8 @@ import (
 func main() {
 	var events eventspec.ListFlag
 	var (
-		addr        = flag.String("addr", ":8377", "listen address")
+		addr        = flag.String("addr", ":8377", "HTTP listen address")
+		rpcAddr     = flag.String("rpc-addr", "", "binary RPC listen address (e.g. :8378); empty disables the RPC transport")
 		gridN       = flag.Int("grid", 10, "map side length")
 		cell        = flag.Float64("cell", 1.0, "cell edge length (km)")
 		sigma       = flag.Float64("sigma", 1.0, "mobility Gaussian scale")
@@ -134,6 +145,24 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The RPC transport is a second front-end over the same Server: both
+	// are thin codecs over the shared api.Service.
+	var rpcSrv *rpc.Server
+	if *rpcAddr != "" {
+		lis, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pristed:", err)
+			os.Exit(1)
+		}
+		rpcSrv = rpc.NewServer(srv)
+		rpcSrv.Observe = srv.ObserveRPC
+		go func() {
+			if err := rpcSrv.Serve(lis); err != nil {
+				log.Printf("pristed: rpc listener: %v", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -151,14 +180,21 @@ func main() {
 				st.Replayed, st.ReplayFailures, st.ReplayMicros/1e3, st.WarmLoaded)
 		}
 	}
+	transports := "http " + *addr
+	if *rpcAddr != "" {
+		transports += ", rpc " + *rpcAddr
+	}
 	log.Printf("pristed: serving on %s (map %dx%d, mechanism %s, max %d sessions, %d-deep queues, %s)",
-		*addr, cfg.GridW, cfg.GridH, cfg.Mechanism, cfg.MaxSessions, cfg.QueueDepth, durability)
+		transports, cfg.GridW, cfg.GridH, cfg.Mechanism, cfg.MaxSessions, cfg.QueueDepth, durability)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "pristed:", err)
 		os.Exit(1)
 	}
-	// The listener is down and in-flight handlers have returned; drain
-	// the queued steps, flush snapshots and the warm cache, then exit.
+	// Both listeners down, in-flight handlers returned; drain the queued
+	// steps, flush snapshots and the warm cache, then exit.
+	if rpcSrv != nil {
+		_ = rpcSrv.Close()
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

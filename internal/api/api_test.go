@@ -1,0 +1,145 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCodeMappingsRoundTrip: every canonical code survives both wire
+// renderings — HTTP status and RPC byte — and the renderings are
+// injective, so a transport can never conflate two codes.
+func TestCodeMappingsRoundTrip(t *testing.T) {
+	all := []Code{
+		CodeInvalidArgument, CodeNotFound, CodeAlreadyExists,
+		CodeSessionClosed, CodeResourceExhausted, CodeFailedPrecondition,
+		CodeUnavailable, CodeDeadlineExceeded, CodeInternal,
+	}
+	seenStatus := map[int]Code{}
+	seenWire := map[byte]Code{}
+	for _, c := range all {
+		if !c.Valid() {
+			t.Errorf("%s not Valid", c)
+		}
+		st := c.HTTPStatus()
+		if prev, dup := seenStatus[st]; dup {
+			t.Errorf("%s and %s share HTTP status %d", prev, c, st)
+		}
+		seenStatus[st] = c
+		if got := CodeFromHTTPStatus(st); got != c {
+			t.Errorf("CodeFromHTTPStatus(%d) = %s, want %s", st, got, c)
+		}
+		w := c.Wire()
+		if prev, dup := seenWire[w]; dup {
+			t.Errorf("%s and %s share wire byte %d", prev, c, w)
+		}
+		seenWire[w] = c
+		if got := CodeFromWire(w); got != c {
+			t.Errorf("CodeFromWire(%d) = %s, want %s", w, got, c)
+		}
+	}
+	if Code("bogus").Valid() {
+		t.Error("bogus code reported valid")
+	}
+	if got := Code("bogus").HTTPStatus(); got != http.StatusInternalServerError {
+		t.Errorf("unknown code status = %d, want 500", got)
+	}
+	if got := CodeFromHTTPStatus(http.StatusTeapot); got != CodeInternal {
+		t.Errorf("unmapped status = %s, want internal", got)
+	}
+	if got := CodeFromWire(0xFF); got != CodeInternal {
+		t.Errorf("unmapped wire byte = %s, want internal", got)
+	}
+}
+
+// TestErrorOf covers the canonicalisation rules: typed errors keep
+// their code through wrapping, context expiry becomes deadline_exceeded
+// and untyped errors default to invalid_argument.
+func TestErrorOf(t *testing.T) {
+	if ErrorOf(nil) != nil {
+		t.Error("ErrorOf(nil) != nil")
+	}
+	sentinel := Errf(CodeNotFound, "nope")
+	if e := ErrorOf(sentinel); e != sentinel {
+		t.Errorf("unwrapped sentinel re-allocated: %+v", e)
+	}
+	wrapped := fmt.Errorf("outer context: %w", sentinel)
+	e := ErrorOf(wrapped)
+	if e.Code != CodeNotFound || !strings.Contains(e.Message, "outer context") {
+		t.Errorf("wrapped = %+v", e)
+	}
+	if !errors.Is(wrapped, sentinel) || !errors.Is(e, sentinel) {
+		t.Error("errors.Is lost through wrapping/canonicalisation")
+	}
+	if got := CodeOf(context.DeadlineExceeded); got != CodeDeadlineExceeded {
+		t.Errorf("deadline code = %s", got)
+	}
+	if got := CodeOf(errors.New("plain")); got != CodeInvalidArgument {
+		t.Errorf("untyped code = %s", got)
+	}
+	if got := CodeOf(nil); got != "" {
+		t.Errorf("nil code = %q", got)
+	}
+	// Same-code client reconstructions match server sentinels.
+	if !errors.Is(&Error{Code: CodeNotFound, Message: "other text"}, sentinel) {
+		t.Error("same-code errors do not match")
+	}
+	if errors.Is(&Error{Code: CodeInternal}, sentinel) {
+		t.Error("cross-code errors match")
+	}
+}
+
+func TestCreateSessionRequestValidate(t *testing.T) {
+	ok := CreateSessionRequest{ID: "u", Epsilon: 0.5, Alpha: 1}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	neg := -0.1
+	for name, req := range map[string]CreateSessionRequest{
+		"long id":       {ID: strings.Repeat("x", MaxSessionIDLen+1)},
+		"neg epsilon":   {Epsilon: -1},
+		"neg alpha":     {Alpha: -1},
+		"neg delta":     {Delta: &neg},
+		"delta too big": {Delta: ptr(1.0)},
+	} {
+		if err := req.Validate(); CodeOf(err) != CodeInvalidArgument {
+			t.Errorf("%s: err = %v, want invalid_argument", name, err)
+		}
+	}
+}
+
+func ptr(f float64) *float64 { return &f }
+
+func TestListNormalize(t *testing.T) {
+	r, err := ListSessionsRequest{}.Normalize()
+	if err != nil || r.Limit != DefaultListLimit {
+		t.Fatalf("defaulted = %+v, %v", r, err)
+	}
+	r, err = ListSessionsRequest{Limit: MaxListLimit + 5}.Normalize()
+	if err != nil || r.Limit != MaxListLimit {
+		t.Fatalf("clamped = %+v, %v", r, err)
+	}
+	if _, err := (ListSessionsRequest{Limit: -1}).Normalize(); CodeOf(err) != CodeInvalidArgument {
+		t.Fatalf("negative limit: %v", err)
+	}
+}
+
+func TestSessionExportValidate(t *testing.T) {
+	ok := SessionExport{Version: V1, World: "w", ID: "u", T: 1, Tags: []ReleaseTag{{Obs: 3}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid export rejected: %v", err)
+	}
+	for name, exp := range map[string]SessionExport{
+		"bad version":  {Version: 2, World: "w", ID: "u"},
+		"no id":        {Version: V1, World: "w"},
+		"no world":     {Version: V1, ID: "u"},
+		"tag mismatch": {Version: V1, World: "w", ID: "u", T: 2, Tags: []ReleaseTag{{}}},
+	} {
+		if err := exp.Validate(); CodeOf(err) != CodeInvalidArgument {
+			t.Errorf("%s: err = %v, want invalid_argument", name, err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// Code is the canonical, transport-neutral error code of the versioned
+// API. Every service error maps onto exactly one code, and every
+// transport renders the code its own way — an HTTP status, an RPC error
+// byte — so the same failure is the same typed error no matter how the
+// bytes arrived.
+type Code string
+
+const (
+	// CodeInvalidArgument: the request was malformed or semantically
+	// invalid (bad event spec, unknown mechanism, out-of-range location).
+	CodeInvalidArgument Code = "invalid_argument"
+	// CodeNotFound: the referenced session does not exist.
+	CodeNotFound Code = "not_found"
+	// CodeAlreadyExists: a create or import collided with a live session
+	// or a surviving journal under the same id.
+	CodeAlreadyExists Code = "already_exists"
+	// CodeSessionClosed: the session was deleted or evicted while the
+	// request was pending.
+	CodeSessionClosed Code = "session_closed"
+	// CodeResourceExhausted: backpressure — the session's pending-step
+	// queue is at capacity.
+	CodeResourceExhausted Code = "resource_exhausted"
+	// CodeFailedPrecondition: the request is well-formed but the state it
+	// carries is unusable here (import under a different world tag, or a
+	// history whose fingerprint does not verify).
+	CodeFailedPrecondition Code = "failed_precondition"
+	// CodeUnavailable: the server is draining for shutdown.
+	CodeUnavailable Code = "unavailable"
+	// CodeDeadlineExceeded: the caller's context expired before the
+	// request completed.
+	CodeDeadlineExceeded Code = "deadline_exceeded"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal Code = "internal"
+)
+
+// codes lists every canonical code with its HTTP status and RPC wire
+// byte. Wire bytes are part of the RPC protocol: never renumber, only
+// append.
+var codes = []struct {
+	code   Code
+	status int
+	wire   byte
+}{
+	{CodeInvalidArgument, http.StatusBadRequest, 1},
+	{CodeNotFound, http.StatusNotFound, 2},
+	{CodeAlreadyExists, http.StatusConflict, 3},
+	{CodeSessionClosed, http.StatusGone, 4},
+	{CodeResourceExhausted, http.StatusTooManyRequests, 5},
+	{CodeFailedPrecondition, http.StatusPreconditionFailed, 6},
+	{CodeUnavailable, http.StatusServiceUnavailable, 7},
+	{CodeDeadlineExceeded, http.StatusGatewayTimeout, 8},
+	{CodeInternal, http.StatusInternalServerError, 9},
+}
+
+// Valid reports whether c is a canonical code.
+func (c Code) Valid() bool {
+	for _, e := range codes {
+		if e.code == c {
+			return true
+		}
+	}
+	return false
+}
+
+// HTTPStatus renders the code as an HTTP status; CodeInternal's 500 is
+// the fallback for unknown codes.
+func (c Code) HTTPStatus() int {
+	for _, e := range codes {
+		if e.code == c {
+			return e.status
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// Wire renders the code as its RPC error byte.
+func (c Code) Wire() byte {
+	for _, e := range codes {
+		if e.code == c {
+			return e.wire
+		}
+	}
+	return CodeInternal.Wire()
+}
+
+// CodeFromHTTPStatus maps an HTTP status back onto the canonical code
+// (CodeInternal for statuses no code produces) — the HTTP client's
+// fallback when a response carries no code field.
+func CodeFromHTTPStatus(status int) Code {
+	for _, e := range codes {
+		if e.status == status {
+			return e.code
+		}
+	}
+	return CodeInternal
+}
+
+// CodeFromWire maps an RPC error byte back onto the canonical code.
+func CodeFromWire(b byte) Code {
+	for _, e := range codes {
+		if e.wire == b {
+			return e.code
+		}
+	}
+	return CodeInternal
+}
+
+// Error is the typed API error every transport round-trips: the service
+// returns *Error values (or errors wrapping them), transports encode
+// the code + message, and clients rebuild an identical *Error — so
+// errors.Is against a service sentinel holds on both sides of the wire.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// Is matches any *Error carrying the same code, which makes a
+// client-side reconstruction of a sentinel equal to the sentinel.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+// Errf returns a new typed error.
+func Errf(code Code, msg string) *Error { return &Error{Code: code, Message: msg} }
+
+// ErrorOf coerces any error onto the canonical model: a wrapped *Error
+// keeps its code (and the outer message), context expiry maps to
+// CodeDeadlineExceeded, and everything else — request decoding,
+// validation, engine errors — defaults to CodeInvalidArgument, the
+// historical catch-all of the HTTP layer. Returns nil for nil.
+func ErrorOf(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		if msg := err.Error(); msg != e.Message {
+			return &Error{Code: e.Code, Message: msg}
+		}
+		return e
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &Error{Code: CodeDeadlineExceeded, Message: err.Error()}
+	}
+	return &Error{Code: CodeInvalidArgument, Message: err.Error()}
+}
+
+// CodeOf returns the canonical code of any error (CodeInvalidArgument
+// for untyped errors, "" for nil) — the assertion helpers tests and
+// callers branch on.
+func CodeOf(err error) Code {
+	if err == nil {
+		return ""
+	}
+	return ErrorOf(err).Code
+}

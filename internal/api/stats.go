@@ -1,0 +1,111 @@
+package api
+
+import "priste/internal/store"
+
+// Stats is the JSON document served at /statsz (and by the RPC stats
+// call): service counters plus the plan-registry, certified-release
+// cache, durability and per-transport sections.
+type Stats struct {
+	Sessions   SessionStats    `json:"sessions"`
+	Steps      StepStats       `json:"steps"`
+	Latency    LatencyStats    `json:"latency"`
+	Plans      PlanStats       `json:"plans"`
+	CertCache  CertCacheStats  `json:"cert_cache"`
+	Store      StoreStats      `json:"store"`
+	Transports TransportsStats `json:"transports"`
+}
+
+// SessionStats counts session lifecycle events.
+type SessionStats struct {
+	Live     int64 `json:"live"`
+	Created  int64 `json:"created"`
+	Evicted  int64 `json:"evicted"`
+	Imported int64 `json:"imported"`
+	Exported int64 `json:"exported"`
+}
+
+// StepStats counts served steps. SuppressionRate is the fraction of
+// released timestamps that fell back to the uniform (zero-information)
+// release.
+type StepStats struct {
+	Served          int64   `json:"served"`
+	Errors          int64   `json:"errors"`
+	Uniform         int64   `json:"uniform"`
+	SuppressionRate float64 `json:"suppression_rate"`
+	QueueRejections int64   `json:"queue_rejections"`
+}
+
+// LatencyStats summarises recent step latency. Samples counts the
+// observations backing the quantiles (the retained window, not the
+// lifetime step total — that is Steps.Served).
+type LatencyStats struct {
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	Samples   int64   `json:"samples"`
+}
+
+// PlanStats is the /statsz plan-registry section.
+type PlanStats struct {
+	// Live is the number of retained compiled plans.
+	Live int64 `json:"live"`
+	// Compiled counts plan compilations (cache misses at the plan level).
+	Compiled int64 `json:"compiled"`
+	// SharedHits counts session creations served by an existing plan.
+	SharedHits int64 `json:"shared_hits"`
+	// SparseKernels and DenseKernels count the compiled transition
+	// kernels across retained plans by path (see world.KernelStats);
+	// KernelDensity is their mean per-kernel density. They report which
+	// path the release hot loop actually runs on.
+	SparseKernels int64   `json:"sparse_kernels"`
+	DenseKernels  int64   `json:"dense_kernels"`
+	KernelDensity float64 `json:"kernel_density"`
+}
+
+// CertCacheStats is the /statsz certified-release cache section. HitRate
+// is hits/(hits+misses) over the cache lifetime; all-zero with Enabled
+// false when the cache is disabled.
+type CertCacheStats struct {
+	Enabled   bool    `json:"enabled"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int64   `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// StoreStats is the /statsz durability section: the store's own
+// counters (appends, fsyncs, snapshots, ...) plus the serving layer's
+// view of it — append failures, startup session replays and their total
+// latency, and warm-loaded certified-release cache entries.
+type StoreStats struct {
+	store.Stats
+	// AppendErrors counts failed write-ahead journal appends (acknowledged
+	// steps whose record was lost); SnapshotErrors failed compactions
+	// (self-healing at the next cadence); TombstoneErrors failed
+	// delete/evict tombstones.
+	AppendErrors    int64   `json:"append_errors"`
+	SnapshotErrors  int64   `json:"snapshot_errors"`
+	TombstoneErrors int64   `json:"tombstone_errors"`
+	Replayed        int64   `json:"replayed"`
+	ReplayFailures  int64   `json:"replay_failures"`
+	ReplayMicros    float64 `json:"replay_us"`
+	WarmLoaded      int64   `json:"warm_loaded"`
+	// WarmLoadFailed is 1 when the persisted cert-cache existed but
+	// could not be read at startup (the server started cold).
+	WarmLoadFailed int64 `json:"warm_load_failed"`
+}
+
+// TransportsStats breaks request counts and latency down by transport.
+type TransportsStats struct {
+	HTTP TransportStats `json:"http"`
+	RPC  TransportStats `json:"rpc"`
+}
+
+// TransportStats is one transport's /statsz section: every request
+// served on the transport (steps, control calls, health probes) with
+// p50/p99 over the retained latency window.
+type TransportStats struct {
+	Requests  int64   `json:"requests"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}

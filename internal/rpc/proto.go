@@ -1,0 +1,170 @@
+// Package rpc is the binary transport of the pristed API: a
+// length-prefixed frame protocol over a persistent TCP connection,
+// designed so the hot step path pays a fixed few dozen bytes and zero
+// JSON work per release while the control plane (create, list, export,
+// import, stats) rides JSON payloads inside the same framing. Both ends
+// are thin codecs over the transport-neutral internal/api package: the
+// Server drives any api.Service and the Client implements api.Client,
+// so every caller written against the shared interfaces runs unchanged
+// on either transport.
+//
+// # Framing
+//
+// Every message — request or response — is one frame:
+//
+//	[len:4 BE][op:1][reqID:8 BE][body:len-9]
+//
+// len counts the bytes after the length prefix. A connection carries
+// any number of concurrent requests; responses are matched to requests
+// by reqID and may arrive in any order. Steps for one session keep
+// their FIFO order because the server enqueues them in frame-arrival
+// order before answering anything.
+//
+// Request ops:
+//
+//	opStep: [idLen:2 BE][sessionID:idLen][loc:4 BE]  — hot path, binary
+//	opCall: [method:1][JSON request body]            — control plane
+//
+// Response ops:
+//
+//	opStepOK: [t:4][obs:4][alphaBits:8][attempts:4][conservative:4]
+//	          [uniform:1][checkNanos:8]  (all BE)
+//	opCallOK: [JSON response body]
+//	opError:  [code:1][message:utf8]     — code is api.Code.Wire()
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"priste/internal/api"
+)
+
+// Frame ops. Part of the wire protocol: never renumber, only append.
+const (
+	opStep   byte = 1
+	opCall   byte = 2
+	opStepOK byte = 3
+	opCallOK byte = 4
+	opError  byte = 5
+)
+
+// Control-plane methods carried by opCall. Same stability rule.
+const (
+	methodCreate byte = 1
+	methodGet    byte = 2
+	methodDelete byte = 3
+	methodList   byte = 4
+	methodExport byte = 5
+	methodImport byte = 6
+	methodStats  byte = 7
+	methodHealth byte = 8
+)
+
+// maxFrame bounds a single frame; a session export carries a whole
+// release history, so the bound is generous. A peer announcing more is
+// a protocol error and kills the connection.
+const maxFrame = 64 << 20
+
+// frameHeader is op + reqID.
+const frameHeader = 1 + 8
+
+// appendFrame appends one framed message to buf.
+func appendFrame(buf []byte, op byte, reqID uint64, body []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(frameHeader+len(body)))
+	buf = append(buf, op)
+	buf = binary.BigEndian.AppendUint64(buf, reqID)
+	return append(buf, body...)
+}
+
+// readFrame reads one frame from r.
+func readFrame(r io.Reader) (op byte, reqID uint64, body []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < frameHeader || n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("rpc: bad frame length %d", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return 0, 0, nil, err
+	}
+	return msg[0], binary.BigEndian.Uint64(msg[1:9]), msg[9:], nil
+}
+
+// appendStepReq encodes an opStep body.
+func appendStepReq(buf []byte, id string, loc int) ([]byte, error) {
+	if len(id) > math.MaxUint16 {
+		return nil, api.Errf(api.CodeInvalidArgument, "rpc: session id too long")
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(id)))
+	buf = append(buf, id...)
+	return binary.BigEndian.AppendUint32(buf, uint32(int32(loc))), nil
+}
+
+// parseStepReq decodes an opStep body.
+func parseStepReq(body []byte) (id string, loc int, err error) {
+	if len(body) < 2 {
+		return "", 0, fmt.Errorf("rpc: short step request")
+	}
+	n := int(binary.BigEndian.Uint16(body))
+	if len(body) != 2+n+4 {
+		return "", 0, fmt.Errorf("rpc: step request length %d does not match id length %d", len(body), n)
+	}
+	id = string(body[2 : 2+n])
+	loc = int(int32(binary.BigEndian.Uint32(body[2+n:])))
+	return id, loc, nil
+}
+
+// stepRespLen is the fixed opStepOK body size.
+const stepRespLen = 4 + 4 + 8 + 4 + 4 + 1 + 8
+
+// appendStepResp encodes an opStepOK body.
+func appendStepResp(buf []byte, r api.StepResponse) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(r.T)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(r.Obs)))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(r.Alpha))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(r.Attempts)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(r.ConservativeRejections)))
+	var uniform byte
+	if r.Uniform {
+		uniform = 1
+	}
+	buf = append(buf, uniform)
+	return binary.BigEndian.AppendUint64(buf, uint64(int64(r.CheckMicros*1e3)))
+}
+
+// parseStepResp decodes an opStepOK body.
+func parseStepResp(body []byte) (api.StepResponse, error) {
+	if len(body) != stepRespLen {
+		return api.StepResponse{}, fmt.Errorf("rpc: step response length %d, want %d", len(body), stepRespLen)
+	}
+	return api.StepResponse{
+		T:                      int(int32(binary.BigEndian.Uint32(body[0:]))),
+		Obs:                    int(int32(binary.BigEndian.Uint32(body[4:]))),
+		Alpha:                  math.Float64frombits(binary.BigEndian.Uint64(body[8:])),
+		Attempts:               int(int32(binary.BigEndian.Uint32(body[16:]))),
+		ConservativeRejections: int(int32(binary.BigEndian.Uint32(body[20:]))),
+		Uniform:                body[24] == 1,
+		CheckMicros:            float64(int64(binary.BigEndian.Uint64(body[25:]))) / 1e3,
+	}, nil
+}
+
+// appendErrResp encodes an opError body.
+func appendErrResp(buf []byte, err error) []byte {
+	e := api.ErrorOf(err)
+	buf = append(buf, e.Code.Wire())
+	return append(buf, e.Message...)
+}
+
+// parseErrResp decodes an opError body into the typed client error.
+func parseErrResp(body []byte) *api.Error {
+	if len(body) == 0 {
+		return api.Errf(api.CodeInternal, "rpc: empty error frame")
+	}
+	return &api.Error{Code: api.CodeFromWire(body[0]), Message: string(body[1:])}
+}

@@ -1,0 +1,299 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"priste/internal/api"
+)
+
+// Server serves the binary RPC protocol over any api.Service. One
+// Server may serve many listeners and connections; each connection is a
+// persistent session stream whose step frames are enqueued in arrival
+// order (preserving per-session FIFO) while control calls and step
+// completions run concurrently.
+type Server struct {
+	svc api.Service
+
+	// Observe, when set before Serve, receives the service time of every
+	// request served on this transport (the /statsz per-transport
+	// section; see server.Server.ObserveRPC).
+	Observe func(time.Duration)
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer returns an RPC server over svc.
+func NewServer(svc api.Service) *Server {
+	return &Server{
+		svc:       svc,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on lis until the listener fails or the
+// server closes. It blocks; run it in a goroutine next to the HTTP
+// listener. Returns nil after Close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return errors.New("rpc: server closed")
+	}
+	s.listeners[lis] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, lis)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Close stops every listener and connection and waits for the per-
+// connection readers to exit. In-flight steps complete inside the
+// service (and are journaled on durable deployments); only their
+// responses are dropped with the connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for lis := range s.listeners {
+		lis.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// connWriter serialises response frames onto one connection.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+	buf  []byte
+}
+
+func (w *connWriter) send(op byte, reqID uint64, body []byte) {
+	w.mu.Lock()
+	w.buf = appendFrame(w.buf[:0], op, reqID, body)
+	_, _ = w.conn.Write(w.buf)
+	w.mu.Unlock()
+}
+
+func (s *Server) observe(start time.Time) {
+	if s.Observe != nil {
+		s.Observe(time.Since(start))
+	}
+}
+
+// handleConn is the per-connection reader loop. Step frames are
+// enqueued synchronously (fixing their per-session FIFO position) with
+// only the completion wait handed to a goroutine; control calls run in
+// their own goroutine so a slow plan compile or export never blocks the
+// step stream.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	// ctx outlives individual requests and is cancelled with the
+	// connection: a Step blocked on a dead peer must not leak forever.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &connWriter{conn: conn}
+	br := bufio.NewReaderSize(conn, 32<<10)
+	stepper, hasAsync := s.svc.(api.AsyncStepper)
+	for {
+		op, reqID, body, err := readFrame(br)
+		if err != nil {
+			return // peer gone or protocol error: drop the connection
+		}
+		start := time.Now()
+		switch op {
+		case opStep:
+			id, loc, err := parseStepReq(body)
+			if err != nil {
+				s.fail(w, reqID, start, err)
+				continue
+			}
+			if hasAsync {
+				ch, err := stepper.StepAsync(id, loc)
+				if err != nil {
+					s.fail(w, reqID, start, err)
+					continue
+				}
+				go func(reqID uint64, start time.Time) {
+					select {
+					case out := <-ch:
+						if out.Err != nil {
+							s.fail(w, reqID, start, out.Err)
+							return
+						}
+						w.send(opStepOK, reqID, appendStepResp(nil, out.Resp))
+						s.observe(start)
+					case <-ctx.Done():
+					}
+				}(reqID, start)
+			} else {
+				// Without StepAsync the only way to preserve pipelined
+				// same-session FIFO order is to serve the step before
+				// reading the next frame. server.Server implements
+				// StepAsync, so the real deployment never pays this.
+				resp, err := s.svc.Step(ctx, id, loc)
+				if err != nil {
+					s.fail(w, reqID, start, err)
+					continue
+				}
+				w.send(opStepOK, reqID, appendStepResp(nil, resp))
+				s.observe(start)
+			}
+		case opCall:
+			if len(body) == 0 {
+				s.fail(w, reqID, start, api.Errf(api.CodeInvalidArgument, "rpc: empty call frame"))
+				continue
+			}
+			method, payload := body[0], body[1:]
+			go func(reqID uint64, start time.Time) {
+				resp, err := s.dispatch(ctx, method, payload)
+				if err == nil && frameHeader+len(resp) > maxFrame {
+					// A response the peer's readFrame would reject must
+					// fail THIS request, not poison the shared connection
+					// (e.g. exporting a session with tens of millions of
+					// steps).
+					err = api.Errf(api.CodeResourceExhausted, "rpc: response exceeds the frame limit; use the HTTP transport for this call")
+				}
+				if err != nil {
+					s.fail(w, reqID, start, err)
+					return
+				}
+				w.send(opCallOK, reqID, resp)
+				s.observe(start)
+			}(reqID, start)
+		default:
+			s.fail(w, reqID, start, api.Errf(api.CodeInvalidArgument, "rpc: unknown op"))
+		}
+	}
+}
+
+func (s *Server) fail(w *connWriter, reqID uint64, start time.Time, err error) {
+	w.send(opError, reqID, appendErrResp(nil, err))
+	s.observe(start)
+}
+
+// idPayload is the JSON body of the id-addressed control calls.
+type idPayload struct {
+	ID string `json:"id"`
+}
+
+// dispatch runs one control-plane call: decode the JSON request, drive
+// the service, encode the JSON response.
+func (s *Server) dispatch(ctx context.Context, method byte, payload []byte) ([]byte, error) {
+	switch method {
+	case methodCreate:
+		var req api.CreateSessionRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		info, err := s.svc.CreateSession(req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(info)
+	case methodGet:
+		var req idPayload
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		info, err := s.svc.GetSession(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(info)
+	case methodDelete:
+		var req idPayload
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := s.svc.DeleteSession(req.ID); err != nil {
+			return nil, err
+		}
+		return []byte("{}"), nil
+	case methodList:
+		var req api.ListSessionsRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		page, err := s.svc.ListSessions(req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(page)
+	case methodExport:
+		var req idPayload
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		exp, err := s.svc.ExportSession(ctx, req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(exp)
+	case methodImport:
+		var exp api.SessionExport
+		if err := json.Unmarshal(payload, &exp); err != nil {
+			return nil, err
+		}
+		info, err := s.svc.ImportSession(exp)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(info)
+	case methodStats:
+		return json.Marshal(s.svc.Stats())
+	case methodHealth:
+		return json.Marshal(s.svc.Health())
+	default:
+		return nil, api.Errf(api.CodeInvalidArgument, "rpc: unknown method")
+	}
+}

@@ -4,17 +4,24 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+
+	"priste/internal/api"
 )
 
-// Client is a typed client for the pristed HTTP/JSON API.
+// Client is the typed HTTP/JSON client for the pristed API: a thin
+// codec over the shared api wire types. It implements api.Client, the
+// transport-neutral client interface the binary RPC client satisfies
+// too, so callers can swap transports without touching call sites.
 type Client struct {
 	base string
 	http *http.Client
 }
+
+var _ api.Client = (*Client)(nil)
 
 // NewClient returns a client for the pristed instance at baseURL (e.g.
 // "http://localhost:8377"). httpClient nil uses http.DefaultClient.
@@ -25,17 +32,11 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: baseURL, http: httpClient}
 }
 
-// APIError is a non-2xx response decoded from the error envelope.
-type APIError struct {
-	Status  int
-	Message string
-}
-
-func (e *APIError) Error() string {
-	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
-}
-
-// do issues one JSON round-trip; out nil discards the body.
+// do issues one JSON round-trip; out nil discards the body. Non-2xx
+// responses decode the error envelope into a typed *api.Error carrying
+// the canonical code (reconstructed from the status line when the
+// envelope has none), so errors.Is against the service sentinels holds
+// client-side.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
@@ -56,14 +57,25 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	// Drain before close on every path (decode errors, error envelopes,
+	// discarded bodies): a body with unread bytes poisons the keep-alive
+	// connection, forcing a fresh TCP+TLS handshake per call exactly when
+	// the caller is busiest.
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
 	if resp.StatusCode >= 300 {
 		var eb errorBody
 		msg := resp.Status
 		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		code := eb.Code
+		if !code.Valid() {
+			code = api.CodeFromHTTPStatus(resp.StatusCode)
+		}
+		return &api.Error{Code: code, Message: msg}
 	}
 	if out == nil {
 		return nil
@@ -72,15 +84,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 // CreateSession creates a session and returns its initial state.
-func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (SessionInfo, error) {
-	var info SessionInfo
+func (c *Client) CreateSession(ctx context.Context, req api.CreateSessionRequest) (api.SessionInfo, error) {
+	var info api.SessionInfo
 	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &info)
 	return info, err
 }
 
 // Session returns a session's current state.
-func (c *Client) Session(ctx context.Context, id string) (SessionInfo, error) {
-	var info SessionInfo
+func (c *Client) Session(ctx context.Context, id string) (api.SessionInfo, error) {
+	var info api.SessionInfo
 	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &info)
 	return info, err
 }
@@ -91,23 +103,55 @@ func (c *Client) DeleteSession(ctx context.Context, id string) error {
 }
 
 // Step releases one true location through a session.
-func (c *Client) Step(ctx context.Context, id string, loc int) (StepResponse, error) {
-	var out StepResponse
-	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/step", StepRequest{Loc: loc}, &out)
+func (c *Client) Step(ctx context.Context, id string, loc int) (api.StepResponse, error) {
+	var out api.StepResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/step", api.StepRequest{Loc: loc}, &out)
 	return out, err
 }
 
 // StepBatch releases locations for many users at once; Results[i]
 // corresponds to steps[i], with per-item errors reported inline.
-func (c *Client) StepBatch(ctx context.Context, steps []BatchStepItem) ([]StepResponse, error) {
-	var out BatchStepResponse
-	err := c.do(ctx, http.MethodPost, "/v1/step", BatchStepRequest{Steps: steps}, &out)
+func (c *Client) StepBatch(ctx context.Context, steps []api.BatchStepItem) ([]api.StepResponse, error) {
+	var out api.BatchStepResponse
+	err := c.do(ctx, http.MethodPost, "/v1/step", api.BatchStepRequest{Steps: steps}, &out)
 	return out.Results, err
 }
 
+// ListSessions fetches one page of the session list.
+func (c *Client) ListSessions(ctx context.Context, req api.ListSessionsRequest) (api.SessionPage, error) {
+	q := url.Values{}
+	if req.Limit != 0 {
+		q.Set("limit", strconv.Itoa(req.Limit))
+	}
+	if req.Cursor != "" {
+		q.Set("cursor", req.Cursor)
+	}
+	path := "/v1/sessions"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page api.SessionPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// ExportSession fetches a session's complete migratable state.
+func (c *Client) ExportSession(ctx context.Context, id string) (api.SessionExport, error) {
+	var exp api.SessionExport
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/export", nil, &exp)
+	return exp, err
+}
+
+// ImportSession registers an exported session on this instance.
+func (c *Client) ImportSession(ctx context.Context, exp api.SessionExport) (api.SessionInfo, error) {
+	var info api.SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/import", exp, &info)
+	return info, err
+}
+
 // Stats returns the service counters.
-func (c *Client) Stats(ctx context.Context) (Stats, error) {
-	var st Stats
+func (c *Client) Stats(ctx context.Context) (api.Stats, error) {
+	var st api.Stats
 	err := c.do(ctx, http.MethodGet, "/statsz", nil, &st)
 	return st, err
 }

@@ -2,126 +2,89 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
+
+	"priste/internal/api"
 )
 
-// CreateSessionRequest is the body of POST /v1/sessions. Zero-valued
-// fields inherit the server defaults; a nil Seed draws a random one.
-type CreateSessionRequest struct {
-	// ID optionally fixes the session id (e.g. a user id); a live
-	// duplicate is rejected with 409.
-	ID string `json:"id,omitempty"`
-	// Seed fixes the session RNG for reproducible releases.
-	Seed      *int64   `json:"seed,omitempty"`
-	Epsilon   float64  `json:"epsilon,omitempty"`
-	Alpha     float64  `json:"alpha,omitempty"`
-	Mechanism string   `json:"mechanism,omitempty"`
-	Delta     *float64 `json:"delta,omitempty"`
-	Events    []string `json:"events,omitempty"`
-}
+// Wire types and error codes live in the transport-neutral api package;
+// the aliases keep the historical server-qualified names working.
+type (
+	// CreateSessionRequest is the body of POST /v1/sessions.
+	CreateSessionRequest = api.CreateSessionRequest
+	// SessionInfo is a session's public state.
+	SessionInfo = api.SessionInfo
+	// StepRequest is the body of POST /v1/sessions/{id}/step.
+	StepRequest = api.StepRequest
+	// StepResponse is one certified release.
+	StepResponse = api.StepResponse
+	// BatchStepItem is one entry of POST /v1/step.
+	BatchStepItem = api.BatchStepItem
+	// BatchStepRequest is the body of POST /v1/step.
+	BatchStepRequest = api.BatchStepRequest
+	// BatchStepResponse is the body of the batch response.
+	BatchStepResponse = api.BatchStepResponse
+	// SessionExport is a session's complete migratable state.
+	SessionExport = api.SessionExport
+	// SessionPage is one page of GET /v1/sessions.
+	SessionPage = api.SessionPage
+	// Stats is the /statsz document.
+	Stats = api.Stats
+	// StoreStats is the /statsz durability section.
+	StoreStats = api.StoreStats
+	// CertCacheStats is the /statsz certified-release cache section.
+	CertCacheStats = api.CertCacheStats
+	// PlanStats is the /statsz plan-registry section.
+	PlanStats = api.PlanStats
+)
 
-// SessionInfo is the body of GET /v1/sessions/{id} and the create
-// response. T is the next timestamp to be released (steps served so far).
-type SessionInfo struct {
-	ID        string    `json:"id"`
-	T         int       `json:"t"`
-	Epsilon   float64   `json:"epsilon"`
-	Alpha     float64   `json:"alpha"`
-	Mechanism string    `json:"mechanism"`
-	Events    []string  `json:"events"`
-	Created   time.Time `json:"created"`
-	LastUsed  time.Time `json:"last_used"`
-	Queued    int       `json:"queued"`
-}
-
-// StepRequest is the body of POST /v1/sessions/{id}/step.
-type StepRequest struct {
-	// Loc is the user's true location (0-based row-major grid state).
-	Loc int `json:"loc"`
-}
-
-// StepResponse mirrors core.StepResult: one certified release.
-type StepResponse struct {
-	// SessionID identifies the session in batch responses.
-	SessionID string `json:"session_id,omitempty"`
-	T         int    `json:"t"`
-	// Obs is the released (perturbed) location.
-	Obs int `json:"obs"`
-	// Alpha is the final budget used; 0 for the uniform fallback.
-	Alpha                  float64 `json:"alpha"`
-	Attempts               int     `json:"attempts"`
-	ConservativeRejections int     `json:"conservative_rejections"`
-	Uniform                bool    `json:"uniform"`
-	CheckMicros            float64 `json:"check_us"`
-	// Error and Code report per-item failures in batch responses; both
-	// are empty on success.
-	Error string `json:"error,omitempty"`
-	Code  int    `json:"code,omitempty"`
-}
-
-// BatchStepItem is one entry of POST /v1/step.
-type BatchStepItem struct {
-	SessionID string `json:"session_id"`
-	Loc       int    `json:"loc"`
-}
-
-// BatchStepRequest is the body of POST /v1/step: a multi-user ingest
-// batch. Items for the same session are applied in slice order.
-type BatchStepRequest struct {
-	Steps []BatchStepItem `json:"steps"`
-}
-
-// BatchStepResponse is the body of the batch response; Results[i]
-// corresponds to Steps[i].
-type BatchStepResponse struct {
-	Results []StepResponse `json:"results"`
-}
-
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope: the canonical code plus a
+// human-readable message.
 type errorBody struct {
-	Error string `json:"error"`
+	Error string   `json:"error"`
+	Code  api.Code `json:"code,omitempty"`
 }
 
-// httpStatus maps session-layer errors onto HTTP status codes.
-func httpStatus(err error) int {
-	switch {
-	case errors.Is(err, ErrNotFound):
-		return http.StatusNotFound
-	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests
-	case errors.Is(err, ErrSessionClosed):
-		return http.StatusGone
-	case errors.Is(err, ErrSessionExists):
-		return http.StatusConflict
-	case errors.Is(err, ErrDraining):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusBadRequest
-	}
-}
+// maxBodyBytes bounds ordinary request bodies; imports carry a whole
+// release history, so they get a larger cap of their own.
+const (
+	maxBodyBytes       = 1 << 20
+	maxImportBodyBytes = 64 << 20
+)
 
-// Handler returns the HTTP/JSON API:
+// Handler returns the HTTP/JSON transport: a thin codec over the
+// api.Service the server implements.
 //
-//	POST   /v1/sessions           create a session
-//	GET    /v1/sessions/{id}      session state
-//	DELETE /v1/sessions/{id}      close a session
-//	POST   /v1/sessions/{id}/step release one location
-//	POST   /v1/step               batch multi-user ingest
-//	GET    /healthz               liveness
-//	GET    /statsz                service counters
+//	POST   /v1/sessions             create a session
+//	GET    /v1/sessions             list sessions (limit/cursor pagination)
+//	GET    /v1/sessions/{id}        session state
+//	DELETE /v1/sessions/{id}        close a session
+//	POST   /v1/sessions/{id}/step   release one location
+//	GET    /v1/sessions/{id}/export export a session for migration
+//	POST   /v1/sessions/import      import a migrated session
+//	POST   /v1/step                 batch multi-user ingest
+//	GET    /healthz                 liveness
+//	GET    /statsz                  service counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
+	mux.HandleFunc("POST /v1/sessions/import", s.handleImport)
 	mux.HandleFunc("POST /v1/step", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /statsz", s.handleStats)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		mux.ServeHTTP(w, r)
+		s.metrics.observeTransport(transportHTTP, time.Since(start))
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -131,11 +94,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
+	e := api.ErrorOf(err)
+	writeJSON(w, e.Code.HTTPStatus(), errorBody{Error: e.Message, Code: e.Code})
 }
 
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+func decodeJSON(r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("server: bad request body: %w", err)
@@ -143,42 +107,40 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-func stepResponse(id string, res stepOutcome) StepResponse {
-	if res.err != nil {
-		return StepResponse{
-			SessionID: id,
-			Error:     res.err.Error(),
-			Code:      httpStatus(res.err),
-		}
-	}
-	return StepResponse{
-		SessionID:              id,
-		T:                      res.res.T,
-		Obs:                    res.res.Obs,
-		Alpha:                  res.res.Alpha,
-		Attempts:               res.res.Attempts,
-		ConservativeRejections: res.res.ConservativeRejections,
-		Uniform:                res.res.Uniform,
-		CheckMicros:            float64(res.res.CheckTime) / 1e3,
-	}
-}
-
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req CreateSessionRequest
-	if err := decodeJSON(r, &req); err != nil {
+	var req api.CreateSessionRequest
+	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
 		writeError(w, err)
 		return
 	}
-	sess, err := s.CreateSession(req)
+	info, err := s.CreateSession(req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, sessionInfo(sess))
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	req := api.ListSessionsRequest{Cursor: r.URL.Query().Get("cursor")}
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			writeError(w, api.Errf(api.CodeInvalidArgument, "server: bad limit: "+raw))
+			return
+		}
+		req.Limit = n
+	}
+	page, err := s.ListSessions(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	info, err := s.SessionInfo(r.PathValue("id"))
+	info, err := s.GetSession(r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -187,73 +149,66 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.DeleteSession(r.PathValue("id")) {
-		writeError(w, ErrNotFound)
+	if err := s.DeleteSession(r.PathValue("id")); err != nil {
+		writeError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
-	var req StepRequest
-	if err := decodeJSON(r, &req); err != nil {
+	var req api.StepRequest
+	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
 		writeError(w, err)
 		return
 	}
-	id := r.PathValue("id")
-	done, err := s.stepAsync(id, req.Loc)
+	resp, err := s.Step(r.Context(), r.PathValue("id"), req.Loc)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client gone; any in-flight worker completes into the
+			// buffered channel. Nothing useful to write.
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchStepRequest
+	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.BatchStepResponse{Results: s.StepBatch(r.Context(), req.Steps)})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	exp, err := s.ExportSession(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	select {
-	case out := <-done:
-		if out.err != nil {
-			writeError(w, out.err)
-			return
-		}
-		writeJSON(w, http.StatusOK, stepResponse("", out))
-	case <-r.Context().Done():
-		// Client gone; the worker completes into the buffered channel.
-	}
+	writeJSON(w, http.StatusOK, exp)
 }
 
-// handleBatch serves POST /v1/step: every item is enqueued in slice
-// order (so items for the same session preserve their relative order and
-// different sessions step in parallel), then the handler collects the
-// certified releases. Per-item failures are reported inline; the batch
-// itself is always 200.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req BatchStepRequest
-	if err := decodeJSON(r, &req); err != nil {
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	var exp api.SessionExport
+	if err := decodeJSON(r, &exp, maxImportBodyBytes); err != nil {
 		writeError(w, err)
 		return
 	}
-	dones := make([]chan stepOutcome, len(req.Steps))
-	results := make([]StepResponse, len(req.Steps))
-	for i, item := range req.Steps {
-		done, err := s.stepAsync(item.SessionID, item.Loc)
-		if err != nil {
-			results[i] = stepResponse(item.SessionID, stepOutcome{err: err})
-			continue
-		}
-		dones[i] = done
+	info, err := s.ImportSession(exp)
+	if err != nil {
+		writeError(w, err)
+		return
 	}
-	for i, done := range dones {
-		if done == nil {
-			continue
-		}
-		out := <-done
-		results[i] = stepResponse(req.Steps[i].SessionID, out)
-	}
-	writeJSON(w, http.StatusOK, BatchStepResponse{Results: results})
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"sessions": s.metrics.sessionsLive.Load(),
-	})
+	writeJSON(w, http.StatusOK, s.Health())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -36,7 +36,7 @@ func TestServerKernelEquivalence(t *testing.T) {
 		m := srv.Config().GridW * srv.Config().GridH
 		for k := 0; k < steps; k++ {
 			for ui, u := range restartUsers {
-				res, err := srv.Step(u.id, (k*7+ui*3)%m)
+				res, err := srv.Step(bg, u.id, (k*7+ui*3)%m)
 				if err != nil {
 					t.Fatalf("%s %s step %d: %v", mode, u.id, k, err)
 				}
@@ -150,7 +150,7 @@ func TestSparseCutoffScopesWorldTag(t *testing.T) {
 	if _, err := srvA.CreateSession(CreateSessionRequest{ID: "u", Seed: &seed}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srvA.Step("u", 1); err != nil {
+	if _, err := srvA.Step(bg, "u", 1); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

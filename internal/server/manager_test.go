@@ -1,11 +1,15 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 	"time"
 )
+
+// bg is the context of test calls with no cancellation story.
+var bg = context.Background()
 
 // testConfig is a small deterministic deployment: 6×6 map, no QP
 // deadline (so identical seeds give identical releases), short queues.
@@ -35,30 +39,30 @@ func TestSessionLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatalf("CreateSession: %v", err)
 	}
-	if sess.id != "alice" {
-		t.Fatalf("id = %q, want alice", sess.id)
+	if sess.ID != "alice" {
+		t.Fatalf("id = %q, want alice", sess.ID)
 	}
 	if _, err := srv.CreateSession(CreateSessionRequest{ID: "alice"}); !errors.Is(err, ErrSessionExists) {
 		t.Fatalf("duplicate create: err = %v, want ErrSessionExists", err)
 	}
-	res, err := srv.Step("alice", 3)
+	res, err := srv.Step(bg, "alice", 3)
 	if err != nil {
 		t.Fatalf("Step: %v", err)
 	}
 	if res.T != 0 {
 		t.Fatalf("first step T = %d, want 0", res.T)
 	}
-	info, err := srv.SessionInfo("alice")
+	info, err := srv.GetSession("alice")
 	if err != nil || info.T != 1 {
 		t.Fatalf("SessionInfo = %+v, %v; want T=1", info, err)
 	}
-	if !srv.DeleteSession("alice") {
-		t.Fatal("DeleteSession returned false")
+	if err := srv.DeleteSession("alice"); err != nil {
+		t.Fatalf("DeleteSession: %v", err)
 	}
-	if _, err := srv.Step("alice", 3); !errors.Is(err, ErrNotFound) {
+	if _, err := srv.Step(bg, "alice", 3); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("step after delete: err = %v, want ErrNotFound", err)
 	}
-	if _, err := srv.Step("ghost", 0); !errors.Is(err, ErrNotFound) {
+	if _, err := srv.Step(bg, "ghost", 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unknown session: err = %v, want ErrNotFound", err)
 	}
 }
@@ -68,11 +72,11 @@ func TestStepValidation(t *testing.T) {
 	if _, err := srv.CreateSession(CreateSessionRequest{ID: "u"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Step("u", 99); err == nil {
+	if _, err := srv.Step(bg, "u", 99); err == nil {
 		t.Fatal("loc 99 on a 36-state map should fail")
 	}
 	// The session survives a bad step.
-	if _, err := srv.Step("u", 0); err != nil {
+	if _, err := srv.Step(bg, "u", 0); err != nil {
 		t.Fatalf("step after bad loc: %v", err)
 	}
 }
@@ -192,7 +196,7 @@ func TestQueueBackpressure(t *testing.T) {
 	}
 	// Closing the session fails the pending steps.
 	sess, _ := srv.mgr.Get("u")
-	srv.DeleteSession("u")
+	_ = srv.DeleteSession("u")
 	if sess.queued() != 0 {
 		t.Fatalf("queued = %d after close, want 0", sess.queued())
 	}
@@ -312,7 +316,7 @@ func TestPendingStepsFailOnClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.DeleteSession("u")
+	_ = srv.DeleteSession("u")
 	select {
 	case out := <-done:
 		if !errors.Is(out.err, ErrSessionClosed) {

@@ -6,20 +6,74 @@ import (
 	"sync/atomic"
 	"time"
 
+	"priste/internal/api"
 	"priste/internal/core"
-	"priste/internal/store"
 )
 
-// latencyWindow is the number of recent step latencies retained for the
-// p50/p99 estimates.
+// latencyWindow is the number of recent latencies retained per window
+// for the p50/p99 estimates.
 const latencyWindow = 2048
 
+// latWindow is a fixed-size sliding window of recent latencies backing
+// the /statsz quantile estimates; one instance serves step latency,
+// further instances serve the per-transport sections.
+type latWindow struct {
+	mu  sync.Mutex
+	buf [latencyWindow]int64 // nanoseconds, ring
+	n   int64                // total observed
+}
+
+func (l *latWindow) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.n%latencyWindow] = int64(d)
+	l.n++
+	l.mu.Unlock()
+}
+
+// quantiles returns the p50 and p99 of the retained window and the
+// number of samples actually backing them (at most latencyWindow).
+func (l *latWindow) quantiles() (p50, p99 time.Duration, samples int64) {
+	l.mu.Lock()
+	k := l.n
+	if k > latencyWindow {
+		k = latencyWindow
+	}
+	tmp := make([]int64, k)
+	copy(tmp, l.buf[:k])
+	l.mu.Unlock()
+	if k == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(k-1))
+		return time.Duration(tmp[i])
+	}
+	return at(0.50), at(0.99), k
+}
+
+// Transports served by one Server; indexes into Metrics.transports.
+const (
+	transportHTTP = iota
+	transportRPC
+	numTransports
+)
+
+// transportMetrics is one transport's request counter and latency
+// window.
+type transportMetrics struct {
+	requests atomic.Int64
+	lat      latWindow
+}
+
 // Metrics holds the service counters behind /statsz: expvar-style atomic
-// counters plus a sliding window of step latencies for quantiles.
+// counters plus sliding windows of recent latencies for quantiles.
 type Metrics struct {
-	sessionsLive    atomic.Int64
-	sessionsCreated atomic.Int64
-	sessionsEvicted atomic.Int64
+	sessionsLive     atomic.Int64
+	sessionsCreated  atomic.Int64
+	sessionsEvicted  atomic.Int64
+	sessionsImported atomic.Int64
+	sessionsExported atomic.Int64
 
 	stepsServed     atomic.Int64
 	stepErrors      atomic.Int64
@@ -34,11 +88,8 @@ type Metrics struct {
 	storeReplayNanos     atomic.Int64
 	storeWarmLoadFailed  atomic.Int64
 
-	lat struct {
-		mu  sync.Mutex
-		buf [latencyWindow]int64 // nanoseconds, ring
-		n   int64                // total observed
-	}
+	lat        latWindow
+	transports [numTransports]transportMetrics
 }
 
 func (m *Metrics) observeStep(d time.Duration, res core.StepResult, err error) {
@@ -50,131 +101,59 @@ func (m *Metrics) observeStep(d time.Duration, res core.StepResult, err error) {
 	if res.Uniform {
 		m.uniformReleases.Add(1)
 	}
-	m.lat.mu.Lock()
-	m.lat.buf[m.lat.n%latencyWindow] = int64(d)
-	m.lat.n++
-	m.lat.mu.Unlock()
+	m.lat.observe(d)
 }
 
-// quantiles returns the p50 and p99 of the retained latency window and
-// the number of samples actually backing them (at most latencyWindow).
-func (m *Metrics) quantiles() (p50, p99 time.Duration, samples int64) {
-	m.lat.mu.Lock()
-	k := m.lat.n
-	if k > latencyWindow {
-		k = latencyWindow
+// observeTransport records one request served on a transport (any
+// request: steps, control calls, health probes).
+func (m *Metrics) observeTransport(transport int, d time.Duration) {
+	t := &m.transports[transport]
+	t.requests.Add(1)
+	t.lat.observe(d)
+}
+
+func (m *Metrics) transportStats(transport int) api.TransportStats {
+	t := &m.transports[transport]
+	p50, p99, _ := t.lat.quantiles()
+	return api.TransportStats{
+		Requests:  t.requests.Load(),
+		P50Micros: float64(p50) / 1e3,
+		P99Micros: float64(p99) / 1e3,
 	}
-	tmp := make([]int64, k)
-	copy(tmp, m.lat.buf[:k])
-	m.lat.mu.Unlock()
-	if k == 0 {
-		return 0, 0, 0
-	}
-	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
-	at := func(q float64) time.Duration {
-		i := int(q * float64(k-1))
-		return time.Duration(tmp[i])
-	}
-	return at(0.50), at(0.99), k
-}
-
-// Stats is the JSON document served at /statsz.
-type Stats struct {
-	Sessions  SessionStats   `json:"sessions"`
-	Steps     StepStats      `json:"steps"`
-	Latency   LatencyStats   `json:"latency"`
-	Plans     PlanStats      `json:"plans"`
-	CertCache CertCacheStats `json:"cert_cache"`
-	Store     StoreStats     `json:"store"`
-}
-
-// StoreStats is the /statsz durability section: the store's own
-// counters (appends, fsyncs, snapshots, ...) plus the serving layer's
-// view of it — append failures, startup session replays and their total
-// latency, and warm-loaded certified-release cache entries.
-type StoreStats struct {
-	store.Stats
-	// AppendErrors counts failed write-ahead journal appends (acknowledged
-	// steps whose record was lost); SnapshotErrors failed compactions
-	// (self-healing at the next cadence); TombstoneErrors failed
-	// delete/evict tombstones.
-	AppendErrors    int64   `json:"append_errors"`
-	SnapshotErrors  int64   `json:"snapshot_errors"`
-	TombstoneErrors int64   `json:"tombstone_errors"`
-	Replayed        int64   `json:"replayed"`
-	ReplayFailures  int64   `json:"replay_failures"`
-	ReplayMicros    float64 `json:"replay_us"`
-	WarmLoaded      int64   `json:"warm_loaded"`
-	// WarmLoadFailed is 1 when the persisted cert-cache existed but
-	// could not be read at startup (the server started cold).
-	WarmLoadFailed int64 `json:"warm_load_failed"`
-}
-
-// CertCacheStats is the /statsz certified-release cache section. HitRate
-// is hits/(hits+misses) over the cache lifetime; all-zero with Enabled
-// false when the cache is disabled.
-type CertCacheStats struct {
-	Enabled   bool    `json:"enabled"`
-	Hits      int64   `json:"hits"`
-	Misses    int64   `json:"misses"`
-	Evictions int64   `json:"evictions"`
-	Entries   int64   `json:"entries"`
-	HitRate   float64 `json:"hit_rate"`
-}
-
-// SessionStats counts session lifecycle events.
-type SessionStats struct {
-	Live    int64 `json:"live"`
-	Created int64 `json:"created"`
-	Evicted int64 `json:"evicted"`
-}
-
-// StepStats counts served steps. SuppressionRate is the fraction of
-// released timestamps that fell back to the uniform (zero-information)
-// release.
-type StepStats struct {
-	Served          int64   `json:"served"`
-	Errors          int64   `json:"errors"`
-	Uniform         int64   `json:"uniform"`
-	SuppressionRate float64 `json:"suppression_rate"`
-	QueueRejections int64   `json:"queue_rejections"`
-}
-
-// LatencyStats summarises recent step latency. Samples counts the
-// observations backing the quantiles (the retained window, not the
-// lifetime step total — that is Steps.Served).
-type LatencyStats struct {
-	P50Micros float64 `json:"p50_us"`
-	P99Micros float64 `json:"p99_us"`
-	Samples   int64   `json:"samples"`
 }
 
 // Snapshot returns a consistent-enough view of the counters.
-func (m *Metrics) Snapshot() Stats {
-	p50, p99, samples := m.quantiles()
+func (m *Metrics) Snapshot() api.Stats {
+	p50, p99, samples := m.lat.quantiles()
 	served := m.stepsServed.Load()
 	uniform := m.uniformReleases.Load()
 	var rate float64
 	if served > 0 {
 		rate = float64(uniform) / float64(served)
 	}
-	return Stats{
-		Sessions: SessionStats{
-			Live:    m.sessionsLive.Load(),
-			Created: m.sessionsCreated.Load(),
-			Evicted: m.sessionsEvicted.Load(),
+	return api.Stats{
+		Sessions: api.SessionStats{
+			Live:     m.sessionsLive.Load(),
+			Created:  m.sessionsCreated.Load(),
+			Evicted:  m.sessionsEvicted.Load(),
+			Imported: m.sessionsImported.Load(),
+			Exported: m.sessionsExported.Load(),
 		},
-		Steps: StepStats{
+		Steps: api.StepStats{
 			Served:          served,
 			Errors:          m.stepErrors.Load(),
 			Uniform:         uniform,
 			SuppressionRate: rate,
 			QueueRejections: m.queueRejections.Load(),
 		},
-		Latency: LatencyStats{
+		Latency: api.LatencyStats{
 			P50Micros: float64(p50) / 1e3,
 			P99Micros: float64(p99) / 1e3,
 			Samples:   samples,
+		},
+		Transports: api.TransportsStats{
+			HTTP: m.transportStats(transportHTTP),
+			RPC:  m.transportStats(transportRPC),
 		},
 	}
 }

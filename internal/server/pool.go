@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"priste/internal/api"
 	"priste/internal/core"
 )
 
@@ -71,13 +72,21 @@ func (p *pool) worker() {
 	}
 }
 
-// drain runs the session's pending steps in FIFO order until the queue
+// drain runs the session's pending jobs in FIFO order until the queue
 // empties, then releases the scheduled token.
 func (p *pool) drain(s *Session) {
 	for {
 		j, ok := s.pop()
 		if !ok {
 			return
+		}
+		if j.export {
+			// Export: a consistent point-in-time snapshot, positioned in
+			// the step stream exactly where the job sat in the FIFO. Not a
+			// step — no metrics, no journaling, no LRU touch.
+			snap, err := s.fw.Snapshot()
+			j.done <- stepOutcome{snap: snap, err: err}
+			continue
 		}
 		start := time.Now()
 		res, err := s.fw.Step(j.loc)
@@ -89,7 +98,14 @@ func (p *pool) drain(s *Session) {
 		}
 		s.touch(time.Now())
 		p.metrics.observeStep(time.Since(start), res, err)
-		j.done <- stepOutcome{res: res, err: err}
+		switch {
+		case err != nil:
+			j.fail(err)
+		case j.apiDone != nil:
+			j.apiDone <- api.StepOutcome{Resp: toStepResponse("", res)}
+		default:
+			j.done <- stepOutcome{res: res}
+		}
 		if s.needSnap {
 			s.needSnap = false
 			if p.onSnap != nil {

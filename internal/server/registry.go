@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"priste/internal/api"
 	"priste/internal/certcache"
 	"priste/internal/core"
 	"priste/internal/event"
@@ -294,25 +295,8 @@ func (r *PlanRegistry) exportCache() []store.CacheEntry {
 	return out
 }
 
-// PlanStats is the /statsz plan-registry section.
-type PlanStats struct {
-	// Live is the number of retained compiled plans.
-	Live int64 `json:"live"`
-	// Compiled counts plan compilations (cache misses at the plan level).
-	Compiled int64 `json:"compiled"`
-	// SharedHits counts session creations served by an existing plan.
-	SharedHits int64 `json:"shared_hits"`
-	// SparseKernels and DenseKernels count the compiled transition
-	// kernels across retained plans by path (see world.KernelStats);
-	// KernelDensity is their mean per-kernel density. They report which
-	// path the release hot loop actually runs on.
-	SparseKernels int64   `json:"sparse_kernels"`
-	DenseKernels  int64   `json:"dense_kernels"`
-	KernelDensity float64 `json:"kernel_density"`
-}
-
-// Stats returns the registry counters.
-func (r *PlanRegistry) Stats() PlanStats {
+// Stats returns the registry counters (the /statsz plans section).
+func (r *PlanRegistry) Stats() api.PlanStats {
 	var ks world.KernelStats
 	r.mu.Lock()
 	live := len(r.plans)
@@ -322,7 +306,7 @@ func (r *PlanRegistry) Stats() PlanStats {
 		}
 	}
 	r.mu.Unlock()
-	return PlanStats{
+	return api.PlanStats{
 		Live:          int64(live),
 		Compiled:      r.compiled.Load(),
 		SharedHits:    r.shared.Load(),

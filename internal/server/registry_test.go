@@ -136,7 +136,7 @@ func TestSharedPlanConcurrentSteps(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ids[i] = sess.id
+		ids[i] = sess.ID
 	}
 	if got := s.Plans().Len(); got != 1 {
 		t.Fatalf("%d plans, want 1", got)
@@ -147,7 +147,7 @@ func TestSharedPlanConcurrentSteps(t *testing.T) {
 		go func(i int, id string) {
 			defer wg.Done()
 			for step := 0; step < 4; step++ {
-				if _, err := s.Step(id, (i+step)%16); err != nil {
+				if _, err := s.Step(bg, id, (i+step)%16); err != nil {
 					t.Errorf("session %d step %d: %v", i, step, err)
 					return
 				}

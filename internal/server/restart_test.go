@@ -7,7 +7,6 @@ import (
 	"testing"
 	"time"
 
-	"priste/internal/core"
 	"priste/internal/store"
 )
 
@@ -52,14 +51,14 @@ func createRestartUser(t *testing.T, srv *Server, u restartUser) {
 
 // stepAll steps every user once per timestamp in [from, to) and returns
 // the results keyed by user then timestamp offset.
-func stepAll(t *testing.T, srv *Server, from, to int) map[string][]core.StepResult {
+func stepAll(t *testing.T, srv *Server, from, to int) map[string][]StepResponse {
 	t.Helper()
 	m := srv.Config().GridW * srv.Config().GridH
-	out := make(map[string][]core.StepResult)
+	out := make(map[string][]StepResponse)
 	for k := from; k < to; k++ {
 		for ui, u := range restartUsers {
 			loc := (k*7 + ui*3) % m // deterministic trajectory per user
-			res, err := srv.Step(u.id, loc)
+			res, err := srv.Step(bg, u.id, loc)
 			if err != nil {
 				t.Fatalf("%s step %d: %v", u.id, k, err)
 			}
@@ -69,7 +68,7 @@ func stepAll(t *testing.T, srv *Server, from, to int) map[string][]core.StepResu
 	return out
 }
 
-func sameSteps(t *testing.T, label string, got, want []core.StepResult) {
+func sameSteps(t *testing.T, label string, got, want []StepResponse) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("%s: %d steps, want %d", label, len(got), len(want))
@@ -125,7 +124,7 @@ func TestRestartEquivalence(t *testing.T) {
 		t.Fatalf("replayed = %d (failures %d), want %d", st.Store.Replayed, st.Store.ReplayFailures, len(restartUsers))
 	}
 	for _, u := range restartUsers {
-		info, err := srvB.SessionInfo(u.id)
+		info, err := srvB.GetSession(u.id)
 		if err != nil {
 			t.Fatalf("rehydrated %s: %v", u.id, err)
 		}
@@ -195,8 +194,8 @@ func TestTombstonedSessionsStayDead(t *testing.T) {
 		createRestartUser(t, srvA, u)
 	}
 	stepAll(t, srvA, 0, 3)
-	if !srvA.DeleteSession("bob") {
-		t.Fatal("delete bob")
+	if err := srvA.DeleteSession("bob"); err != nil {
+		t.Fatalf("delete bob: %v", err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -205,11 +204,11 @@ func TestTombstonedSessionsStayDead(t *testing.T) {
 	}
 
 	srvB := newTestServer(t, durableConfig(t, dir))
-	if _, err := srvB.SessionInfo("bob"); !errors.Is(err, ErrNotFound) {
+	if _, err := srvB.GetSession("bob"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("deleted session resurrected: %v", err)
 	}
 	for _, id := range []string{"alice", "carol"} {
-		if info, err := srvB.SessionInfo(id); err != nil || info.T != 3 {
+		if info, err := srvB.GetSession(id); err != nil || info.T != 3 {
 			t.Fatalf("%s: %+v, %v; want T=3", id, info, err)
 		}
 	}
@@ -229,7 +228,7 @@ func TestWarmCacheRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k < 6; k++ {
-		if _, err := srvA.Step("u", k%36); err != nil {
+		if _, err := srvA.Step(bg, "u", k%36); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -259,16 +258,16 @@ func TestWarmCacheRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k < 6; k++ {
-		if _, err := ref.Step("u", k%36); err != nil {
+		if _, err := ref.Step(bg, "u", k%36); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for k := 6; k < 10; k++ {
-		got, err := srvB.Step("u", k%36)
+		got, err := srvB.Step(bg, "u", k%36)
 		if err != nil {
 			t.Fatal(err)
 		}
-		wantRes, err := ref.Step("u", k%36)
+		wantRes, err := ref.Step(bg, "u", k%36)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -293,7 +292,7 @@ func TestWorldMismatchRefusesReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k < 3; k++ {
-		if _, err := srvA.Step("u", k); err != nil {
+		if _, err := srvA.Step(bg, "u", k); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -321,7 +320,7 @@ func TestWorldMismatchRefusesReplay(t *testing.T) {
 
 	// The journal survived the mismatch: the original world recovers it.
 	srvC := newTestServer(t, durableConfig(t, dir))
-	if info, err := srvC.SessionInfo("u"); err != nil || info.T != 3 {
+	if info, err := srvC.GetSession("u"); err != nil || info.T != 3 {
 		t.Fatalf("after returning to the original world: %+v, %v; want T=3", info, err)
 	}
 }
@@ -339,7 +338,7 @@ func TestDuplicateCreateKeepsJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k < 3; k++ {
-		if _, err := srvA.Step("u", k); err != nil {
+		if _, err := srvA.Step(bg, "u", k); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -348,7 +347,7 @@ func TestDuplicateCreateKeepsJournal(t *testing.T) {
 	}
 	// The journal survived the rejected duplicate: the session still
 	// steps and restarts at T=4.
-	if _, err := srvA.Step("u", 3); err != nil {
+	if _, err := srvA.Step(bg, "u", 3); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -357,7 +356,7 @@ func TestDuplicateCreateKeepsJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	srvB := newTestServer(t, durableConfig(t, dir))
-	if info, err := srvB.SessionInfo("u"); err != nil || info.T != 4 {
+	if info, err := srvB.GetSession("u"); err != nil || info.T != 4 {
 		t.Fatalf("after restart: %+v, %v; want T=4", info, err)
 	}
 }
@@ -378,7 +377,7 @@ func TestRehydrateOverCapacityKeepsJournals(t *testing.T) {
 		if _, err := srvA.CreateSession(CreateSessionRequest{ID: id, Seed: &seed}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := srvA.Step(id, i); err != nil {
+		if _, err := srvA.Step(bg, id, i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -408,27 +407,27 @@ func TestRehydrateOverCapacityKeepsJournals(t *testing.T) {
 	var orphans []string
 	for i := 0; i < total; i++ {
 		id := fmt.Sprintf("u%d", i)
-		if _, err := srvB.SessionInfo(id); errors.Is(err, ErrNotFound) {
+		if _, err := srvB.GetSession(id); errors.Is(err, ErrNotFound) {
 			orphans = append(orphans, id)
 		}
 	}
 	if len(orphans) != total-2 {
 		t.Fatalf("%d orphans, want %d", len(orphans), total-2)
 	}
-	if !srvB.DeleteSession(orphans[0]) {
-		t.Fatalf("delete of orphan %s failed", orphans[0])
+	if err := srvB.DeleteSession(orphans[0]); err != nil {
+		t.Fatalf("delete of orphan %s failed: %v", orphans[0], err)
 	}
 	seed := int64(99)
 	if _, err := srvB.CreateSession(CreateSessionRequest{ID: orphans[1], Seed: &seed}); !errors.Is(err, ErrSessionExists) {
 		t.Fatalf("re-create over a surviving journal: %v, want ErrSessionExists", err)
 	}
-	if !srvB.DeleteSession(orphans[1]) {
-		t.Fatalf("delete of orphan %s failed", orphans[1])
+	if err := srvB.DeleteSession(orphans[1]); err != nil {
+		t.Fatalf("delete of orphan %s failed: %v", orphans[1], err)
 	}
 	if _, err := srvB.CreateSession(CreateSessionRequest{ID: orphans[1], Seed: &seed}); err != nil {
 		t.Fatalf("re-create after explicit delete: %v", err)
 	}
-	if _, err := srvB.Step(orphans[1], 0); err != nil {
+	if _, err := srvB.Step(bg, orphans[1], 0); err != nil {
 		t.Fatal(err)
 	}
 	srvB.Close()
@@ -442,10 +441,10 @@ func TestRehydrateOverCapacityKeepsJournals(t *testing.T) {
 	if st := srvC.Stats(); st.Store.Replayed != total-2 {
 		t.Fatalf("replayed = %d after capacity squeeze, want %d", st.Store.Replayed, total-2)
 	}
-	if _, err := srvC.SessionInfo(orphans[0]); !errors.Is(err, ErrNotFound) {
+	if _, err := srvC.GetSession(orphans[0]); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("deleted orphan resurrected: %v", err)
 	}
-	if info, err := srvC.SessionInfo(orphans[1]); err != nil || info.T != 1 {
+	if info, err := srvC.GetSession(orphans[1]); err != nil || info.T != 1 {
 		t.Fatalf("re-created orphan: %+v, %v; want T=1", info, err)
 	}
 }
@@ -469,14 +468,14 @@ func TestWarmEntriesSurviveUntouchedRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k < 5; k++ {
-		if _, err := srvA.Step("keep", k); err != nil {
+		if _, err := srvA.Step(bg, "keep", k); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := srvA.Step("drop", k); err != nil {
+		if _, err := srvA.Step(bg, "drop", k); err != nil {
 			t.Fatal(err)
 		}
 	}
-	srvA.DeleteSession("drop")
+	_ = srvA.DeleteSession("drop")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srvA.Shutdown(ctx); err != nil {
@@ -555,8 +554,88 @@ func TestGracefulShutdownDrains(t *testing.T) {
 
 	// All 10 steps were journaled: a restart resumes at T=10.
 	srvB := newTestServer(t, durableConfig(t, dir))
-	info, err := srvB.SessionInfo("u")
+	info, err := srvB.GetSession("u")
 	if err != nil || info.T != pending {
 		t.Fatalf("after drain+restart: %+v, %v; want T=%d", info, err, pending)
+	}
+}
+
+// TestDurableImportSurvivesRestart: a session imported into a durable
+// server is journaled atomically (snapshot + fresh WAL under a new
+// generation), so a restart straight after the import — and further
+// steps before and after it — recover the full migrated history and
+// continue seed-for-seed identically to an unmigrated run.
+func TestDurableImportSurvivesRestart(t *testing.T) {
+	const pre, post = 5, 4
+	seed := int64(23)
+	traj := func(k int) int { return (k * 5) % 36 }
+
+	// Unmigrated reference.
+	ref := newTestServer(t, testConfig())
+	if _, err := ref.CreateSession(CreateSessionRequest{ID: "mig", Seed: &seed}); err != nil {
+		t.Fatal(err)
+	}
+	var want []StepResponse
+	for k := 0; k < pre+post; k++ {
+		res, err := ref.Step(bg, "mig", traj(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	// Source instance: in-memory is fine, the export carries everything.
+	srvA := newTestServer(t, testConfig())
+	if _, err := srvA.CreateSession(CreateSessionRequest{ID: "mig", Seed: &seed}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < pre; k++ {
+		if _, err := srvA.Step(bg, "mig", traj(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exp, err := srvA.ExportSession(context.Background(), "mig")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Durable target: import, step once, then crash (no graceful
+	// shutdown) — recovery must see the imported history plus the step.
+	dir := t.TempDir()
+	srvB, err := New(durableConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := srvB.ImportSession(exp)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if info.T != pre {
+		t.Fatalf("imported at T=%d, want %d", info.T, pre)
+	}
+	got, err := srvB.Step(bg, "mig", traj(pre))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := want[pre]
+	if got.Obs != w.Obs || got.Alpha != w.Alpha {
+		t.Fatalf("first post-import step diverged: %+v vs %+v", got, w)
+	}
+	srvB.Close() // crash-style: WAL replay only
+
+	srvC := newTestServer(t, durableConfig(t, dir))
+	if st := srvC.Stats(); st.Store.Replayed != 1 || st.Store.ReplayFailures != 0 {
+		t.Fatalf("restart after import: %+v", st.Store)
+	}
+	for k := pre + 1; k < pre+post; k++ {
+		got, err := srvC.Step(bg, "mig", traj(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := want[k]
+		if got.T != w.T || got.Obs != w.Obs || got.Alpha != w.Alpha ||
+			got.Attempts != w.Attempts || got.Uniform != w.Uniform {
+			t.Fatalf("post-restart step %d: got %+v, want %+v", k, got, w)
+		}
 	}
 }

@@ -13,10 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"priste/internal/api"
 	"priste/internal/certcache"
 	"priste/internal/core"
 	"priste/internal/event"
@@ -27,6 +29,15 @@ import (
 	"priste/internal/mat"
 	"priste/internal/store"
 	"priste/internal/world"
+)
+
+// Server is the canonical implementation of the transport-neutral
+// service surface: the HTTP handlers (Handler), the binary RPC server
+// (internal/rpc) and the pristectl CLI are all thin codecs over these
+// methods.
+var (
+	_ api.Service      = (*Server)(nil)
+	_ api.AsyncStepper = (*Server)(nil)
 )
 
 // Server is one pristed instance: the shared world model (grid, mobility
@@ -385,14 +396,15 @@ func (s *Server) Sessions() *Manager { return s.mgr }
 // Plans returns the plan registry.
 func (s *Server) Plans() *PlanRegistry { return s.registry }
 
-// Stats returns the full /statsz document: service counters plus the
-// plan-registry and certified-release cache sections.
-func (s *Server) Stats() Stats {
+// Stats implements api.Service: the full /statsz document — service
+// counters plus the plan-registry, certified-release cache, durability
+// and per-transport sections.
+func (s *Server) Stats() api.Stats {
 	st := s.metrics.Snapshot()
 	st.Plans = s.registry.Stats()
 	if c := s.registry.Cache(); c != nil {
 		cs := c.Stats()
-		st.CertCache = CertCacheStats{
+		st.CertCache = api.CertCacheStats{
 			Enabled:   true,
 			Hits:      cs.Hits,
 			Misses:    cs.Misses,
@@ -403,7 +415,7 @@ func (s *Server) Stats() Stats {
 			st.CertCache.HitRate = float64(cs.Hits) / float64(total)
 		}
 	}
-	st.Store = StoreStats{
+	st.Store = api.StoreStats{
 		Stats:           s.cfg.Store.Stats(),
 		AppendErrors:    s.metrics.storeAppendErrors.Load(),
 		SnapshotErrors:  s.metrics.storeSnapshotErrors.Load(),
@@ -491,15 +503,27 @@ func (s *Server) awaitDrain(ctx context.Context) error {
 	}
 }
 
-// CreateSession builds and registers a session from a creation request,
-// applying the server's privacy defaults for absent fields. The compiled
-// engine is shared: sessions whose canonical parameters (ε, α, mechanism,
-// δ, protected events) match an existing plan reuse it — only the RNG,
-// quantifier state and (for δ) mechanism state are per-session. At
-// capacity the least recently used session is evicted to make room.
-func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
+// CreateSession implements api.Service: it builds and registers a
+// session from a creation request, applying the server's privacy
+// defaults for absent fields. The compiled engine is shared: sessions
+// whose canonical parameters (ε, α, mechanism, δ, protected events)
+// match an existing plan reuse it — only the RNG, quantifier state and
+// (for δ) mechanism state are per-session. At capacity the least
+// recently used session is evicted to make room.
+func (s *Server) CreateSession(req api.CreateSessionRequest) (api.SessionInfo, error) {
+	sess, err := s.createSession(req)
+	if err != nil {
+		return api.SessionInfo{}, err
+	}
+	return sessionInfo(sess), nil
+}
+
+func (s *Server) createSession(req api.CreateSessionRequest) (*Session, error) {
 	if s.draining.Load() {
 		return nil, ErrDraining
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
 	}
 	eps := req.Epsilon
 	if eps == 0 {
@@ -547,8 +571,6 @@ func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
 	id := req.ID
 	if id == "" {
 		id = newSessionID()
-	} else if len(id) > maxSessionIDLen {
-		return nil, fmt.Errorf("server: session id longer than %d bytes", maxSessionIDLen)
 	}
 	now := time.Now()
 	sess := &Session{
@@ -563,7 +585,7 @@ func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
 		seed:      seed,
 	}
 	sess.touch(now)
-	if err := s.register(sess); err != nil {
+	if err := s.register(sess, nil); err != nil {
 		return nil, err
 	}
 	// Capacity eviction runs outside createMu: its Remove path fires the
@@ -572,18 +594,19 @@ func (s *Server) CreateSession(req CreateSessionRequest) (*Session, error) {
 	return sess, nil
 }
 
-// register journals (durable stores) and registers a new session.
-// Journal before registering: once the session is steppable, a
-// concurrent step (clients may know the id ahead of the create
-// response) must find its WAL open, or the acknowledged step would be
-// lost and leave a gap that truncates replay. createMu serialises this
-// tail, which makes the not-live-but-journaled check race-free: an id
-// whose journal survives without a live session (evicted during an
-// over-capacity rehydrate, or refused replay) is reported
-// ErrSessionExists — its certified history must never be silently
-// truncated by a create; the owner reclaims it with an explicit DELETE
-// first.
-func (s *Server) register(sess *Session) error {
+// register journals (durable stores) and registers a new session; a
+// non-nil imported state journals the migrated history atomically
+// (store.ImportSession) instead of opening an empty WAL. Journal before
+// registering: once the session is steppable, a concurrent step
+// (clients may know the id ahead of the create response) must find its
+// WAL open, or the acknowledged step would be lost and leave a gap that
+// truncates replay. createMu serialises this tail, which makes the
+// not-live-but-journaled check race-free: an id whose journal survives
+// without a live session (evicted during an over-capacity rehydrate, or
+// refused replay) is reported ErrSessionExists — its certified history
+// must never be silently truncated by a create; the owner reclaims it
+// with an explicit DELETE first.
+func (s *Server) register(sess *Session, imported *store.SessionState) error {
 	if !s.durable {
 		return s.mgr.Put(sess)
 	}
@@ -592,8 +615,13 @@ func (s *Server) register(sess *Session) error {
 	if _, ok := s.mgr.Get(sess.id); ok {
 		return ErrSessionExists
 	}
-	meta := sess.meta(s.worldTag)
-	gen, err := s.cfg.Store.CreateSession(meta)
+	var gen uint64
+	var err error
+	if imported != nil {
+		gen, err = s.cfg.Store.ImportSession(*imported)
+	} else {
+		gen, err = s.cfg.Store.CreateSession(sess.meta(s.worldTag))
+	}
 	if err != nil {
 		if errors.Is(err, store.ErrAlreadyJournaled) {
 			return fmt.Errorf("%w (its journal survives; DELETE it to start over)", ErrSessionExists)
@@ -637,56 +665,134 @@ func (s *Server) buildPlan(eps, alpha float64, mechName string, delta float64, e
 	})
 }
 
-// Step enqueues one step on a session and waits for its certified
-// release. FIFO order among concurrent Step calls on the same session is
-// the order their enqueues linearise in; the HTTP layer and the batch
-// endpoint preserve their own arrival order.
-func (s *Server) Step(id string, loc int) (core.StepResult, error) {
+// toStepResponse renders a completed step outcome as the wire type.
+func toStepResponse(id string, res core.StepResult) api.StepResponse {
+	return api.StepResponse{
+		SessionID:              id,
+		T:                      res.T,
+		Obs:                    res.Obs,
+		Alpha:                  res.Alpha,
+		Attempts:               res.Attempts,
+		ConservativeRejections: res.ConservativeRejections,
+		Uniform:                res.Uniform,
+		CheckMicros:            float64(res.CheckTime) / 1e3,
+	}
+}
+
+// Step implements api.Service: it enqueues one step on a session and
+// waits for its certified release (or ctx expiry — the step itself
+// still completes and is journaled). FIFO order among concurrent Step
+// calls on the same session is the order their enqueues linearise in;
+// the transports and the batch endpoint preserve their own arrival
+// order.
+func (s *Server) Step(ctx context.Context, id string, loc int) (api.StepResponse, error) {
 	done, err := s.stepAsync(id, loc)
 	if err != nil {
-		return core.StepResult{}, err
+		return api.StepResponse{}, err
 	}
-	out := <-done
-	return out.res, out.err
+	select {
+	case out := <-done:
+		if out.err != nil {
+			return api.StepResponse{}, out.err
+		}
+		return toStepResponse("", out.res), nil
+	case <-ctx.Done():
+		return api.StepResponse{}, ctx.Err()
+	}
+}
+
+// StepAsync implements api.AsyncStepper for pipelining transports: the
+// step is enqueued before StepAsync returns (fixing its FIFO position)
+// and the buffered channel delivers the wire-typed outcome straight
+// from the worker — no forwarding goroutine on the hot path.
+func (s *Server) StepAsync(id string, loc int) (<-chan api.StepOutcome, error) {
+	j := stepJob{loc: loc, apiDone: make(chan api.StepOutcome, 1)}
+	if err := s.enqueueStep(id, j); err != nil {
+		return nil, err
+	}
+	return j.apiDone, nil
+}
+
+// StepBatch implements api.Service: every item is enqueued in slice
+// order (so items for the same session preserve their relative order
+// and different sessions step in parallel), then the certified releases
+// are collected. Per-item failures are reported inline; the batch
+// itself never fails.
+func (s *Server) StepBatch(ctx context.Context, steps []api.BatchStepItem) []api.StepResponse {
+	dones := make([]chan stepOutcome, len(steps))
+	results := make([]api.StepResponse, len(steps))
+	for i, item := range steps {
+		done, err := s.stepAsync(item.SessionID, item.Loc)
+		if err != nil {
+			results[i] = api.FailedStep(item.SessionID, err)
+			continue
+		}
+		dones[i] = done
+	}
+	for i, done := range dones {
+		if done == nil {
+			continue
+		}
+		select {
+		case out := <-done:
+			if out.err != nil {
+				results[i] = api.FailedStep(steps[i].SessionID, out.err)
+			} else {
+				results[i] = toStepResponse(steps[i].SessionID, out.res)
+			}
+		case <-ctx.Done():
+			results[i] = api.FailedStep(steps[i].SessionID, ctx.Err())
+		}
+	}
+	return results
 }
 
 // stepAsync enqueues one step and returns the completion channel.
 func (s *Server) stepAsync(id string, loc int) (chan stepOutcome, error) {
+	j := stepJob{loc: loc, done: make(chan stepOutcome, 1)}
+	if err := s.enqueueStep(id, j); err != nil {
+		return nil, err
+	}
+	return j.done, nil
+}
+
+// enqueueStep places a job on the session's FIFO queue and wakes the
+// pool, rejecting drains, unknown ids and full queues.
+func (s *Server) enqueueStep(id string, j stepJob) error {
 	if s.draining.Load() {
-		return nil, ErrDraining
+		return ErrDraining
 	}
 	sess, ok := s.mgr.Get(id)
 	if !ok {
-		return nil, ErrNotFound
+		return ErrNotFound
 	}
-	j := stepJob{loc: loc, done: make(chan stepOutcome, 1)}
 	wake, err := sess.enqueue(j, s.cfg.QueueDepth)
 	if err != nil {
 		if err == ErrQueueFull {
 			s.metrics.queueRejections.Add(1)
 		}
-		return nil, err
+		return err
 	}
 	sess.touch(time.Now())
 	if wake {
 		s.pool.schedule(sess)
 	}
-	return j.done, nil
+	return nil
 }
 
-// DeleteSession removes and closes a session. A session that is
-// journaled but no longer live (evicted during an over-capacity
-// rehydrate) is tombstoned in the store so its id and disk space are
-// reclaimed.
-func (s *Server) DeleteSession(id string) bool {
+// DeleteSession implements api.Service: it removes and closes a
+// session. A session that is journaled but no longer live (evicted
+// during an over-capacity rehydrate) is tombstoned in the store so its
+// id and disk space are reclaimed. ErrNotFound when neither exists.
+func (s *Server) DeleteSession(id string) error {
 	for {
 		// Remove fires the onRemove hook, which takes createMu itself —
 		// so it must be called lock-free here.
 		if s.mgr.Remove(id) {
-			return true
+			return nil
 		}
 		if !s.durable {
-			return false
+			return ErrNotFound
 		}
 		// createMu rules out a create of the same id sitting between its
 		// journal and its registration — without it the store-only
@@ -698,23 +804,62 @@ func (s *Server) DeleteSession(id string) bool {
 			s.createMu.Unlock()
 			continue
 		}
-		ok := s.cfg.Store.DeleteSession(id) == nil
+		err := s.cfg.Store.DeleteSession(id)
 		s.createMu.Unlock()
-		return ok
+		if err != nil {
+			return ErrNotFound
+		}
+		return nil
 	}
 }
 
-// SessionInfo reports a session's public state.
-func (s *Server) SessionInfo(id string) (SessionInfo, error) {
+// GetSession implements api.Service: a session's public state.
+func (s *Server) GetSession(id string) (api.SessionInfo, error) {
 	sess, ok := s.mgr.Get(id)
 	if !ok {
-		return SessionInfo{}, ErrNotFound
+		return api.SessionInfo{}, ErrNotFound
 	}
 	return sessionInfo(sess), nil
 }
 
-func sessionInfo(s *Session) SessionInfo {
-	return SessionInfo{
+// ListSessions implements api.Service: one page of live sessions in id
+// order, keyset-paginated by the previous page's NextCursor. The page
+// is a live iteration over a churning registry — exact for any fixed
+// moment, approximate across pages, like any keyset cursor.
+func (s *Server) ListSessions(req api.ListSessionsRequest) (api.SessionPage, error) {
+	req, err := req.Normalize()
+	if err != nil {
+		return api.SessionPage{}, err
+	}
+	var matched []*Session
+	s.mgr.forEach(func(sess *Session) {
+		if sess.id > req.Cursor {
+			matched = append(matched, sess)
+		}
+	})
+	sort.Slice(matched, func(i, j int) bool { return matched[i].id < matched[j].id })
+	page := api.SessionPage{}
+	more := len(matched) > req.Limit
+	if more {
+		matched = matched[:req.Limit]
+	}
+	page.Sessions = make([]api.SessionInfo, len(matched))
+	for i, sess := range matched {
+		page.Sessions[i] = sessionInfo(sess)
+	}
+	if more {
+		page.NextCursor = matched[len(matched)-1].id
+	}
+	return page, nil
+}
+
+// Health implements api.Service.
+func (s *Server) Health() api.Health {
+	return api.Health{Status: "ok", Sessions: s.metrics.sessionsLive.Load()}
+}
+
+func sessionInfo(s *Session) api.SessionInfo {
+	return api.SessionInfo{
 		ID:        s.id,
 		T:         int(s.steps.Load()),
 		Epsilon:   s.epsilon,
@@ -725,4 +870,147 @@ func sessionInfo(s *Session) SessionInfo {
 		LastUsed:  time.Unix(0, s.lastUsed.Load()),
 		Queued:    s.queued(),
 	}
+}
+
+// ObserveRPC records one served RPC request in the per-transport
+// /statsz section; cmd/pristed (and the tests) wire it into the RPC
+// server's observer hook.
+func (s *Server) ObserveRPC(d time.Duration) {
+	s.metrics.observeTransport(transportRPC, d)
+}
+
+// ExportSession implements api.Service: it captures a session's
+// complete migratable state — identity, committed release-tag history,
+// rolling fingerprint, RNG state — at a consistent point in its step
+// stream. The snapshot request rides the session's single-writer FIFO
+// queue, so it linearises with concurrent steps; ctx bounds the wait.
+// The session keeps serving afterwards: migration is export, DELETE on
+// the source, import on the target.
+func (s *Server) ExportSession(ctx context.Context, id string) (api.SessionExport, error) {
+	if s.draining.Load() {
+		return api.SessionExport{}, ErrDraining
+	}
+	sess, ok := s.mgr.Get(id)
+	if !ok {
+		return api.SessionExport{}, ErrNotFound
+	}
+	j := stepJob{export: true, done: make(chan stepOutcome, 1)}
+	wake, err := sess.enqueue(j, s.cfg.QueueDepth)
+	if err != nil {
+		if err == ErrQueueFull {
+			s.metrics.queueRejections.Add(1)
+		}
+		return api.SessionExport{}, err
+	}
+	if wake {
+		s.pool.schedule(sess)
+	}
+	var out stepOutcome
+	select {
+	case out = <-j.done:
+	case <-ctx.Done():
+		return api.SessionExport{}, ctx.Err()
+	}
+	if out.err != nil {
+		return api.SessionExport{}, out.err
+	}
+	exp := api.SessionExport{
+		Version:         api.V1,
+		World:           s.worldTag,
+		ID:              sess.id,
+		Seed:            sess.seed,
+		Epsilon:         sess.epsilon,
+		Alpha:           sess.alpha,
+		Mechanism:       sess.mechanism,
+		Delta:           sess.delta,
+		Events:          sess.events,
+		CreatedUnixNano: sess.created.UnixNano(),
+		T:               out.snap.T,
+		Tags:            make([]api.ReleaseTag, len(out.snap.Tags)),
+		Fingerprint:     out.snap.Fingerprint,
+		RNG:             out.snap.RNG,
+	}
+	for i, tag := range out.snap.Tags {
+		exp.Tags[i] = api.ReleaseTag{AlphaBits: tag.AlphaBits, Obs: tag.Obs}
+	}
+	s.metrics.sessionsExported.Add(1)
+	return exp, nil
+}
+
+// ImportSession implements api.Service: it registers a migrated session
+// from another instance's export. The world tag must match this
+// server's (ErrWorldMismatch otherwise), the release-tag history is
+// replayed through the shared compiled plan with the rolling
+// fingerprint verified end-to-end, and on durable deployments the full
+// history is journaled atomically (snapshot + fresh WAL, a new journal
+// generation) before the session goes live — a crash straight after the
+// import recovers the complete migrated state.
+func (s *Server) ImportSession(exp api.SessionExport) (api.SessionInfo, error) {
+	if s.draining.Load() {
+		return api.SessionInfo{}, ErrDraining
+	}
+	if err := exp.Validate(); err != nil {
+		return api.SessionInfo{}, err
+	}
+	if exp.World != s.worldTag {
+		return api.SessionInfo{}, fmt.Errorf("%w: export is for world %q, this server runs %q",
+			ErrWorldMismatch, exp.World, s.worldTag)
+	}
+	events, err := eventspec.ParseAll(exp.Events, s.g.States(), 0)
+	if err != nil {
+		return api.SessionInfo{}, err
+	}
+	plan, err := s.buildPlan(exp.Epsilon, exp.Alpha, exp.Mechanism, exp.Delta, events)
+	if err != nil {
+		return api.SessionInfo{}, err
+	}
+	snap := core.Snapshot{
+		T:           exp.T,
+		Tags:        make([]core.ReleaseTag, len(exp.Tags)),
+		Fingerprint: exp.Fingerprint,
+		RNG:         exp.RNG,
+	}
+	for i, tag := range exp.Tags {
+		snap.Tags[i] = core.ReleaseTag{AlphaBits: tag.AlphaBits, Obs: tag.Obs}
+	}
+	fw, err := plan.Restore(snap, core.NewSessionRNG(exp.Seed))
+	if err != nil {
+		if errors.Is(err, core.ErrFingerprintMismatch) {
+			return api.SessionInfo{}, fmt.Errorf("%w: %v", ErrWorldMismatch, err)
+		}
+		return api.SessionInfo{}, err
+	}
+	now := time.Now()
+	sess := &Session{
+		id:        exp.ID,
+		created:   time.Unix(0, exp.CreatedUnixNano),
+		fw:        fw,
+		epsilon:   exp.Epsilon,
+		alpha:     exp.Alpha,
+		mechanism: exp.Mechanism,
+		delta:     exp.Delta,
+		events:    exp.Events,
+		seed:      exp.Seed,
+	}
+	sess.steps.Store(int64(fw.T()))
+	sess.touch(now)
+	var imported *store.SessionState
+	if s.durable {
+		state := store.SessionState{
+			Meta:        sess.meta(s.worldTag),
+			Tags:        make([]store.Tag, len(exp.Tags)),
+			Fingerprint: exp.Fingerprint,
+			RNG:         exp.RNG,
+		}
+		for i, tag := range exp.Tags {
+			state.Tags[i] = store.Tag{AlphaBits: tag.AlphaBits, Obs: tag.Obs}
+		}
+		imported = &state
+	}
+	if err := s.register(sess, imported); err != nil {
+		return api.SessionInfo{}, err
+	}
+	s.mgr.enforceCap()
+	s.metrics.sessionsImported.Add(1)
+	return sessionInfo(sess), nil
 }

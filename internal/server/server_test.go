@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 
+	"priste/internal/api"
 	"priste/internal/core"
 	"priste/internal/eventspec"
 	"priste/internal/grid"
@@ -247,12 +247,13 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err := client.DeleteSession(ctx, info.ID); err != nil {
 		t.Fatalf("delete: %v", err)
 	}
-	var apiErr *APIError
-	if _, err := client.Step(ctx, info.ID, 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
-		t.Fatalf("step after delete: %v, want 404", err)
+	// The typed client reconstructs the canonical error, so errors.Is
+	// matches the service sentinels across the wire.
+	if _, err := client.Step(ctx, info.ID, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("step after delete: %v, want ErrNotFound", err)
 	}
-	if _, err := client.Session(ctx, info.ID); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
-		t.Fatalf("get after delete: %v, want 404", err)
+	if _, err := client.Session(ctx, info.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after delete: %v, want ErrNotFound", err)
 	}
 }
 
@@ -264,25 +265,24 @@ func TestHTTPErrors(t *testing.T) {
 	client := NewClient(ts.URL, nil)
 	ctx := context.Background()
 
-	var apiErr *APIError
 	// Bad event spec.
-	if _, err := client.CreateSession(ctx, CreateSessionRequest{Events: []string{"nope"}}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
-		t.Fatalf("bad event spec: %v, want 400", err)
+	if _, err := client.CreateSession(ctx, CreateSessionRequest{Events: []string{"nope"}}); api.CodeOf(err) != api.CodeInvalidArgument {
+		t.Fatalf("bad event spec: %v, want invalid_argument", err)
 	}
 	// Bad mechanism.
-	if _, err := client.CreateSession(ctx, CreateSessionRequest{Mechanism: "rot13"}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
-		t.Fatalf("bad mechanism: %v, want 400", err)
+	if _, err := client.CreateSession(ctx, CreateSessionRequest{Mechanism: "rot13"}); api.CodeOf(err) != api.CodeInvalidArgument {
+		t.Fatalf("bad mechanism: %v, want invalid_argument", err)
 	}
 	// Duplicate id.
 	if _, err := client.CreateSession(ctx, CreateSessionRequest{ID: "dup"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.CreateSession(ctx, CreateSessionRequest{ID: "dup"}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
-		t.Fatalf("duplicate id: %v, want 409", err)
+	if _, err := client.CreateSession(ctx, CreateSessionRequest{ID: "dup"}); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("duplicate id: %v, want ErrSessionExists", err)
 	}
 	// Out-of-range location is a per-request 400; the session survives.
-	if _, err := client.Step(ctx, "dup", 9999); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
-		t.Fatalf("bad loc: %v, want 400", err)
+	if _, err := client.Step(ctx, "dup", 9999); api.CodeOf(err) != api.CodeInvalidArgument {
+		t.Fatalf("bad loc: %v, want invalid_argument", err)
 	}
 	if _, err := client.Step(ctx, "dup", 0); err != nil {
 		t.Fatalf("step after bad loc: %v", err)
@@ -298,8 +298,8 @@ func TestHTTPErrors(t *testing.T) {
 	if results[0].Error != "" {
 		t.Fatalf("batch item 0 failed: %+v", results[0])
 	}
-	if results[1].Code != http.StatusNotFound {
-		t.Fatalf("batch item 1 = %+v, want code 404", results[1])
+	if results[1].Code != api.CodeNotFound {
+		t.Fatalf("batch item 1 = %+v, want code not_found", results[1])
 	}
 }
 
@@ -316,11 +316,11 @@ func TestDeltaMechanismSession(t *testing.T) {
 	if err != nil {
 		t.Fatalf("create: %v", err)
 	}
-	if sess.mechanism != MechanismDelta {
-		t.Fatalf("mechanism = %q", sess.mechanism)
+	if sess.Mechanism != MechanismDelta {
+		t.Fatalf("mechanism = %q", sess.Mechanism)
 	}
 	for k := 0; k < 3; k++ {
-		if _, err := srv.Step("d", k); err != nil {
+		if _, err := srv.Step(bg, "d", k); err != nil {
 			t.Fatalf("step %d: %v", k, err)
 		}
 	}

@@ -4,45 +4,68 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
-	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"priste/internal/api"
 	"priste/internal/core"
 	"priste/internal/store"
 )
 
-// Sentinel errors surfaced by the session layer; the HTTP layer maps them
-// onto status codes (see httpStatus).
+// Sentinel errors surfaced by the session layer. They are typed
+// api.Errors, so every transport renders them canonically (HTTP status,
+// RPC error byte) and a client-side reconstruction matches them under
+// errors.Is.
 var (
 	// ErrQueueFull reports backpressure: the session's pending-step queue
 	// is at capacity (HTTP 429).
-	ErrQueueFull = errors.New("server: session step queue full")
+	ErrQueueFull = api.Errf(api.CodeResourceExhausted, "server: session step queue full")
 	// ErrSessionClosed reports a step enqueued on (or pending in) a
 	// session that was deleted or evicted (HTTP 410).
-	ErrSessionClosed = errors.New("server: session closed")
+	ErrSessionClosed = api.Errf(api.CodeSessionClosed, "server: session closed")
 	// ErrSessionExists reports a create with an already-live explicit id
 	// (HTTP 409).
-	ErrSessionExists = errors.New("server: session id already exists")
+	ErrSessionExists = api.Errf(api.CodeAlreadyExists, "server: session id already exists")
 	// ErrNotFound reports an unknown session id (HTTP 404).
-	ErrNotFound = errors.New("server: session not found")
+	ErrNotFound = api.Errf(api.CodeNotFound, "server: session not found")
 	// ErrDraining reports a request rejected because the server is in
 	// graceful shutdown: no new sessions or steps are accepted while
 	// pending work drains and state is flushed (HTTP 503).
-	ErrDraining = errors.New("server: draining for shutdown")
+	ErrDraining = api.Errf(api.CodeUnavailable, "server: draining for shutdown")
+	// ErrWorldMismatch reports an import whose history was certified
+	// against a different world model (HTTP 412).
+	ErrWorldMismatch = api.Errf(api.CodeFailedPrecondition, "server: session was certified against a different world model")
 )
 
-// stepJob is one pending Step call; done is buffered (cap 1) so the worker
-// never blocks on a slow or departed client.
+// stepJob is one pending queue entry — a Step call, or (export true) a
+// request for a consistent point-in-time snapshot that rides the same
+// single-writer FIFO so it never races a step on the framework. Exactly
+// one of done/apiDone is set, both buffered (cap 1) so the worker never
+// blocks on a slow or departed client: done delivers the raw engine
+// outcome (Step, StepBatch, export), apiDone delivers the wire-typed
+// outcome directly — the StepAsync fast path, which saves a forwarding
+// goroutine and channel per step on the pipelining RPC transport.
 type stepJob struct {
-	loc  int
-	done chan stepOutcome
+	loc     int
+	export  bool
+	done    chan stepOutcome
+	apiDone chan api.StepOutcome
+}
+
+// fail delivers err on whichever completion channel the job carries.
+func (j stepJob) fail(err error) {
+	if j.apiDone != nil {
+		j.apiDone <- api.StepOutcome{Err: err}
+		return
+	}
+	j.done <- stepOutcome{err: err}
 }
 
 type stepOutcome struct {
-	res core.StepResult
-	err error
+	res  core.StepResult
+	snap core.Snapshot
+	err  error
 }
 
 // Session is one user's live privacy session: a core.Framework with its
@@ -89,12 +112,9 @@ type Session struct {
 	needSnap bool
 }
 
-// maxSessionIDLen caps client-supplied session ids. The durable store
-// names files by the hex of the id (double its length), so the cap
-// keeps filenames under every mainstream filesystem's 255-byte
-// NAME_MAX; it applies to in-memory deployments too so behaviour does
-// not diverge by store.
-const maxSessionIDLen = 120
+// maxSessionIDLen caps client-supplied session ids (see
+// api.MaxSessionIDLen for the rationale).
+const maxSessionIDLen = api.MaxSessionIDLen
 
 // newSessionID returns a 128-bit random hex id.
 func newSessionID() string {
@@ -160,7 +180,7 @@ func (s *Session) close() {
 	s.queue = nil
 	s.mu.Unlock()
 	for _, j := range pending {
-		j.done <- stepOutcome{err: ErrSessionClosed}
+		j.fail(ErrSessionClosed)
 	}
 }
 

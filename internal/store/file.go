@@ -169,6 +169,28 @@ func (s *FileStore) newWAL(path string, meta SessionMeta) (*os.File, error) {
 
 // CreateSession implements Store.
 func (s *FileStore) CreateSession(meta SessionMeta) (uint64, error) {
+	return s.openJournal(meta, nil)
+}
+
+// ImportSession implements Store: the migrated history is persisted as
+// the session's snapshot before its fresh WAL opens, so a crash at any
+// point either recovers the complete imported state (snapshot with or
+// without the WAL — load creates a missing WAL) or, before the snapshot
+// rename lands, nothing at all.
+func (s *FileStore) ImportSession(state SessionState) (uint64, error) {
+	data, err := encodeSnapshot(state)
+	if err != nil {
+		return 0, err
+	}
+	return s.openJournal(state.Meta, data)
+}
+
+// openJournal reserves the id and opens its journal: an optional
+// pre-encoded snapshot (imports), then a fresh WAL. The handle is
+// reserved under s.mu but all file I/O (including fsyncs) runs under
+// its own lock only: every step append's handle lookup takes s.mu, so
+// create-time disk work must not sit on the store-wide mutex.
+func (s *FileStore) openJournal(meta SessionMeta, snapshot []byte) (uint64, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -178,9 +200,6 @@ func (s *FileStore) CreateSession(meta SessionMeta) (uint64, error) {
 		s.mu.Unlock()
 		return 0, fmt.Errorf("%w: %q", ErrAlreadyJournaled, meta.ID)
 	}
-	// Reserve the handle, then do the file I/O (including fsyncs) under
-	// its own lock only: every step append's handle lookup takes s.mu,
-	// so create-time disk work must not sit on the store-wide mutex.
 	gen := s.gens.Add(1)
 	h := &walHandle{path: s.walPath(meta.ID), meta: meta, gen: gen}
 	h.mu.Lock()
@@ -188,8 +207,29 @@ func (s *FileStore) CreateSession(meta SessionMeta) (uint64, error) {
 	s.handles[meta.ID] = h
 	s.mu.Unlock()
 
-	// A re-created id (deleted or lost in a previous life) starts fresh.
-	_ = os.Remove(s.snapPath(meta.ID))
+	unreserve := func(err error) (uint64, error) {
+		s.mu.Lock()
+		if s.handles[meta.ID] == h {
+			delete(s.handles, meta.ID)
+		}
+		s.mu.Unlock()
+		return 0, err
+	}
+	if snapshot == nil {
+		// A re-created id (deleted or lost in a previous life) starts
+		// fresh.
+		_ = os.Remove(s.snapPath(meta.ID))
+	} else {
+		// Imported history becomes the snapshot first: a WAL existing
+		// without it would recover an empty session under this id. The
+		// stale WAL (if any) must go before the snapshot so a crash
+		// in between cannot pair the new history with old records.
+		_ = os.Remove(s.walPath(meta.ID))
+		if err := s.replaceFile(s.snapPath(meta.ID), snapshot); err != nil {
+			return unreserve(fmt.Errorf("store: import snapshot: %w", err))
+		}
+		s.snapshots.Add(1)
+	}
 	f, err := s.newWAL(h.path, meta)
 	if err == nil {
 		if serr := s.syncDir(h.path); serr != nil {
@@ -198,12 +238,7 @@ func (s *FileStore) CreateSession(meta SessionMeta) (uint64, error) {
 		}
 	}
 	if err != nil {
-		s.mu.Lock()
-		if s.handles[meta.ID] == h {
-			delete(s.handles, meta.ID)
-		}
-		s.mu.Unlock()
-		return 0, err
+		return unreserve(err)
 	}
 	h.f = f
 	return gen, nil

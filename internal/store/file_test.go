@@ -437,3 +437,59 @@ func TestNullStore(t *testing.T) {
 		t.Fatal("Null store reports Enabled")
 	}
 }
+
+// TestFileStoreImportSession: an imported session's history is
+// persisted immediately (snapshot + fresh WAL), survives a reload,
+// accepts further appends under its generation, and an id the store
+// already journals refuses the import.
+func TestFileStoreImportSession(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := []Tag{{AlphaBits: 100, Obs: 3}, {AlphaBits: 0, Obs: 7}}
+	fp := world.FingerprintSeed
+	for _, tag := range tags {
+		fp = world.FingerprintFold(fp, tag.AlphaBits, tag.Obs)
+	}
+	state := SessionState{
+		Meta:        testMeta("mig"),
+		Tags:        tags,
+		Fingerprint: fp,
+		RNG:         []byte("pcg:fedcba9876543210"),
+	}
+	gen, err := s.ImportSession(state)
+	if err != nil {
+		t.Fatalf("ImportSession: %v", err)
+	}
+	// The id is journaled now: a second import or create must refuse.
+	if _, err := s.ImportSession(state); !errors.Is(err, ErrAlreadyJournaled) {
+		t.Fatalf("re-import: %v, want ErrAlreadyJournaled", err)
+	}
+	if _, err := s.CreateSession(testMeta("mig")); !errors.Is(err, ErrAlreadyJournaled) {
+		t.Fatalf("create over import: %v, want ErrAlreadyJournaled", err)
+	}
+	// The journal accepts appends under the import's generation.
+	appendTagged(t, s, "mig", gen, len(tags), fp, []Tag{{AlphaBits: 77, Obs: 5}}, []byte("pcg:aa"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	states, err := s2.LoadSessions()
+	if err != nil || len(states) != 1 {
+		t.Fatalf("LoadSessions = %d states, %v; want 1", len(states), err)
+	}
+	got := states[0]
+	if got.Meta.ID != "mig" || len(got.Tags) != 3 {
+		t.Fatalf("recovered %q with %d tags, want mig with 3", got.Meta.ID, len(got.Tags))
+	}
+	if got.Tags[2].AlphaBits != 77 || got.Tags[2].Obs != 5 {
+		t.Fatalf("appended tag = %+v", got.Tags[2])
+	}
+}

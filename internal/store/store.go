@@ -141,6 +141,15 @@ type Store interface {
 	// WriteSnapshot atomically replaces the session's snapshot with the
 	// full state and compacts the WAL to empty. gen as for AppendStep.
 	WriteSnapshot(state SessionState, gen uint64) error
+	// ImportSession starts journaling a migrated session that already
+	// carries history: the full state is persisted as the session's
+	// snapshot and a fresh WAL is opened, atomically enough that a crash
+	// at any point either recovers the complete imported history or
+	// (before the snapshot lands) nothing. Like CreateSession it returns
+	// the new journal generation and refuses an id the store already
+	// journals (ErrAlreadyJournaled) — migrated history must never
+	// silently overwrite existing state.
+	ImportSession(state SessionState) (uint64, error)
 	// DeleteSession tombstones a session (explicit delete or eviction);
 	// a tombstoned session is never returned by LoadSessions.
 	DeleteSession(id string) error
@@ -165,6 +174,9 @@ func (Null) CreateSession(SessionMeta) (uint64, error) { return 0, nil }
 
 // AppendStep implements Store.
 func (Null) AppendStep(string, uint64, StepRecord) error { return nil }
+
+// ImportSession implements Store.
+func (Null) ImportSession(SessionState) (uint64, error) { return 0, nil }
 
 // WriteSnapshot implements Store.
 func (Null) WriteSnapshot(SessionState, uint64) error { return nil }

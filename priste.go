@@ -43,6 +43,7 @@ import (
 	"io"
 	"net/http"
 
+	"priste/internal/api"
 	"priste/internal/attack"
 	"priste/internal/certcache"
 	"priste/internal/core"
@@ -55,6 +56,7 @@ import (
 	"priste/internal/markov"
 	"priste/internal/mat"
 	"priste/internal/qp"
+	"priste/internal/rpc"
 	"priste/internal/server"
 	"priste/internal/store"
 	"priste/internal/trace"
@@ -342,25 +344,61 @@ func ParseEventSpec(spec string, m, horizon int) (Event, error) {
 
 // Serving (cmd/pristed): a concurrent multi-user release service managing
 // one privacy session — a Framework with its own RNG, mechanism and event
-// set — per user, behind an HTTP/JSON API.
+// set — per user. The service surface is the versioned, transport-neutral
+// internal/api package (APIService/APIClient below); the HTTP/JSON
+// handlers, the binary RPC transport and the pristectl CLI are thin
+// codecs over it.
 type (
-	// Server is the multi-user release service.
+	// Server is the multi-user release service; it implements APIService.
 	Server = server.Server
 	// ServerConfig tunes the service: world model, privacy defaults and
 	// limits (session cap, idle TTL, worker pool, queue depth).
 	ServerConfig = server.Config
-	// ServerClient is the typed client for the pristed HTTP API.
+	// ServerClient is the typed client for the pristed HTTP transport.
 	ServerClient = server.Client
 	// SessionInfo is a session's public state.
-	SessionInfo = server.SessionInfo
+	SessionInfo = api.SessionInfo
 	// CreateSessionRequest opens a per-user session.
-	CreateSessionRequest = server.CreateSessionRequest
+	CreateSessionRequest = api.CreateSessionRequest
 	// StepResponse is one certified release from the service API.
-	StepResponse = server.StepResponse
+	StepResponse = api.StepResponse
 	// BatchStepItem is one entry of the multi-user batch endpoint.
-	BatchStepItem = server.BatchStepItem
+	BatchStepItem = api.BatchStepItem
 	// ServerStats is the /statsz counter snapshot.
-	ServerStats = server.Stats
+	ServerStats = api.Stats
+)
+
+// Versioned API core: the transport-neutral service and client
+// interfaces plus the canonical error model every transport round-trips.
+type (
+	// APIService is the transport-neutral service surface *Server
+	// implements; every front-end (HTTP, RPC, CLI) drives exactly it.
+	APIService = api.Service
+	// APIClient is the transport-neutral typed client interface; the
+	// HTTP ServerClient and the binary RPCClient both satisfy it.
+	APIClient = api.Client
+	// APIError is the typed error every transport round-trips; use
+	// errors.Is against the server sentinels or inspect its Code.
+	APIError = api.Error
+	// APICode is the canonical error-code enum (not_found,
+	// already_exists, session_closed, resource_exhausted, ...).
+	APICode = api.Code
+	// SessionPage is one page of the paginated session list.
+	SessionPage = api.SessionPage
+	// SessionExport is a session's complete migratable state: the
+	// payload of the export/import endpoints that hand a session from
+	// one pristed instance to another.
+	SessionExport = api.SessionExport
+)
+
+// RPC transport: a length-prefixed binary frame protocol over TCP with
+// persistent per-connection session streams — the low-overhead path for
+// high-frequency stepping (see internal/rpc for the framing).
+type (
+	// RPCServer serves the binary RPC protocol over any APIService.
+	RPCServer = rpc.Server
+	// RPCClient is the binary RPC client; it implements APIClient.
+	RPCClient = rpc.Client
 )
 
 // DefaultServerConfig returns the pristed defaults (10×10 map,
@@ -376,6 +414,19 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 func NewServerClient(baseURL string, httpClient *http.Client) *ServerClient {
 	return server.NewClient(baseURL, httpClient)
 }
+
+// NewRPCServer returns a binary RPC front-end over a release service;
+// serve it with Serve(net.Listener) and wire srv.ObserveRPC into
+// Observe for per-transport /statsz latency.
+func NewRPCServer(srv *Server) *RPCServer {
+	rs := rpc.NewServer(srv)
+	rs.Observe = srv.ObserveRPC
+	return rs
+}
+
+// DialRPC returns a binary RPC client for the pristed RPC listener at
+// addr (connected lazily on first use).
+func DialRPC(addr string) (*RPCClient, error) { return rpc.Dial(addr) }
 
 // Durability: sessions survive restarts through a pluggable store — an
 // append-only per-session WAL of committed release tags plus periodic

@@ -224,9 +224,12 @@ func benchServer(b *testing.B) (*priste.Server, priste.ServerConfig) {
 // benchSteps drives the serving path through any transport's client:
 // parallel goroutines each own one pristed session and step a random
 // walk; one iteration is one certified release round-trip. Shared by the
-// HTTP and RPC serving benchmarks so BENCH_PR5.json records the two
-// transports over identical work.
-func benchSteps(b *testing.B, cfg priste.ServerConfig, dial func() priste.APIClient) {
+// HTTP and RPC serving benchmarks so the benchjson document records the
+// two transports over identical work. After the run it reports the
+// server's per-stage mean latencies (decode, queue wait, engine commit,
+// WAL append, encode) next to the end-to-end served mean, so the
+// artifact names where each transport's serving overhead goes.
+func benchSteps(b *testing.B, srv *priste.Server, transport string, cfg priste.ServerConfig, dial func() priste.APIClient) {
 	var nextSession atomic.Int64
 	m := cfg.GridW * cfg.GridH
 	b.ReportAllocs()
@@ -250,6 +253,42 @@ func benchSteps(b *testing.B, cfg priste.ServerConfig, dial func() priste.APICli
 		}
 	})
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "steps/sec")
+	reportStages(b, srv, transport)
+}
+
+// reportStages attaches the per-transport stage breakdown of the run to
+// the benchmark line: mean microseconds per stage, the stage sum, and
+// the measured end-to-end served mean the sum should approximate.
+func reportStages(b *testing.B, srv *priste.Server, transport string) {
+	b.Helper()
+	st := srv.Stats()
+	var ts priste.TransportStats
+	switch transport {
+	case "http":
+		ts = st.Transports.HTTP
+	case "rpc":
+		ts = st.Transports.RPC
+	default:
+		ts = st.Transports.Local
+	}
+	if ts.Steps == 0 {
+		return
+	}
+	var sum float64
+	for _, stage := range []string{"decode", "queue_wait", "commit_hit", "commit_miss", "wal_append", "encode"} {
+		sg, ok := ts.Stages[stage]
+		if !ok {
+			continue
+		}
+		// Weight each stage by how many steps actually passed through it
+		// (commit splits by cache hit/miss; wal_append only exists on
+		// durable deployments), so the sum is per served step.
+		contribution := sg.MeanMicros * float64(sg.Count) / float64(ts.Steps)
+		sum += contribution
+		b.ReportMetric(contribution, stage+"_us")
+	}
+	b.ReportMetric(sum, "stage_sum_us")
+	b.ReportMetric(ts.StepMeanMicros, "e2e_us")
 }
 
 // BenchmarkServerStep measures HTTP/JSON serving-path throughput.
@@ -257,7 +296,7 @@ func BenchmarkServerStep(b *testing.B) {
 	srv, cfg := benchServer(b)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	benchSteps(b, cfg, func() priste.APIClient {
+	benchSteps(b, srv, "http", cfg, func() priste.APIClient {
 		return priste.NewServerClient(ts.URL, &http.Client{})
 	})
 }
@@ -274,7 +313,7 @@ func BenchmarkServerStepRPC(b *testing.B) {
 	rpcSrv := priste.NewRPCServer(srv)
 	go func() { _ = rpcSrv.Serve(lis) }()
 	defer rpcSrv.Close()
-	benchSteps(b, cfg, func() priste.APIClient {
+	benchSteps(b, srv, "rpc", cfg, func() priste.APIClient {
 		client, err := priste.DialRPC(lis.Addr().String())
 		if err != nil {
 			b.Fatal(err)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_PR5.json] [-benchtime 1x] \
+//	go run ./cmd/benchjson [-out BENCH_PR6.json] [-benchtime 1x] \
 //	    [-spec "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan"]
 //
 // Each -spec entry is package=benchRegexp; the default covers the mat
@@ -13,6 +13,14 @@
 // ServerStep pattern picks up both transports (BenchmarkServerStep over
 // HTTP and BenchmarkServerStepRPC over the binary RPC protocol), so the
 // document records HTTP-vs-RPC steps/sec side by side.
+//
+// Serving benchmarks additionally report the server's per-stage latency
+// means (decode, queue_wait, commit_hit/commit_miss, wal_append, encode
+// — the instrumentation behind /metricsz and `pristectl stats -stages`).
+// benchjson lifts those into a top-level "stages" section per serving
+// benchmark, with the stage sum and the measured end-to-end served mean
+// side by side so the breakdown's coverage of real latency is auditable
+// in the committed artifact.
 package main
 
 import (
@@ -39,17 +47,34 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// StageBreakdown is one serving benchmark's per-stage latency decomposition,
+// lifted from the benchmark's reported metrics: mean microseconds each stage
+// contributed per served step, their sum, and the measured end-to-end served
+// mean the sum should approximate.
+type StageBreakdown struct {
+	Name string `json:"name"`
+	// StageMeansMicros maps stage → mean µs per served step, e.g.
+	// "decode", "queue_wait", "commit_miss", "encode".
+	StageMeansMicros map[string]float64 `json:"stage_means_us"`
+	StageSumMicros   float64            `json:"stage_sum_us"`
+	E2EMeanMicros    float64            `json:"e2e_mean_us"`
+	// CoverageRatio is stage_sum / e2e — how much of the measured served
+	// latency the instrumented stages account for.
+	CoverageRatio float64 `json:"coverage_ratio"`
+}
+
 // Doc is the output document.
 type Doc struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOMAXPROCS  int      `json:"gomaxprocs"`
-	Benchtime   string   `json:"benchtime,omitempty"`
-	Results     []Result `json:"results"`
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Benchtime   string           `json:"benchtime,omitempty"`
+	Results     []Result         `json:"results"`
+	Stages      []StageBreakdown `json:"stages,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output file")
+	out := flag.String("out", "BENCH_PR6.json", "output file")
 	benchtime := flag.String("benchtime", "", "passed to go test -benchtime; empty = default")
 	spec := flag.String("spec", "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan",
 		"comma-separated package=benchRegexp entries")
@@ -74,6 +99,7 @@ func main() {
 		}
 		doc.Results = append(doc.Results, results...)
 	}
+	doc.Stages = stageBreakdowns(doc.Results)
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -86,6 +112,38 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// stageBreakdowns extracts the stage decomposition from every result
+// that carries one (the serving benchmarks report stage_sum_us/e2e_us
+// plus per-stage "<stage>_us" metrics).
+func stageBreakdowns(results []Result) []StageBreakdown {
+	var out []StageBreakdown
+	for _, r := range results {
+		e2e, okE2E := r.Metrics["e2e_us"]
+		sum, okSum := r.Metrics["stage_sum_us"]
+		if !okE2E || !okSum {
+			continue
+		}
+		sb := StageBreakdown{
+			Name:             r.Name,
+			StageMeansMicros: map[string]float64{},
+			StageSumMicros:   sum,
+			E2EMeanMicros:    e2e,
+		}
+		for unit, v := range r.Metrics {
+			stage, ok := strings.CutSuffix(unit, "_us")
+			if !ok || stage == "stage_sum" || stage == "e2e" {
+				continue
+			}
+			sb.StageMeansMicros[stage] = v
+		}
+		if e2e > 0 {
+			sb.CoverageRatio = sum / e2e
+		}
+		out = append(out, sb)
+	}
+	return out
 }
 
 // runPackage executes the package's benchmarks and parses the output.

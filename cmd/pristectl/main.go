@@ -18,7 +18,7 @@
 //	list [-limit N] [-cursor C]
 //	export ID              write the session's migratable state to stdout
 //	import                 read an exported session from stdin and register it
-//	stats                  service counters
+//	stats [-stages]        service counters (-stages: per-transport stage table)
 //	health                 liveness probe
 //
 // Every command prints its response as JSON on stdout, so a migration is
@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"text/tabwriter"
 	"time"
 
 	"priste/internal/api"
@@ -121,8 +122,7 @@ func main() {
 		info, err := client.ImportSession(ctx, exp)
 		exit(info, err)
 	case "stats":
-		st, err := client.Stats(ctx)
-		exit(st, err)
+		runStats(ctx, client, args)
 	case "health":
 		if err := client.Health(ctx); err != nil {
 			fatalf("%v", err)
@@ -176,6 +176,47 @@ func runCreate(ctx context.Context, client api.Client, args []string) {
 	}
 	info, err := client.CreateSession(ctx, req)
 	exit(info, err)
+}
+
+func runStats(ctx context.Context, client api.Client, args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	stages := fs.Bool("stages", false, "render the per-transport step-stage breakdown as a table instead of JSON")
+	_ = fs.Parse(args)
+	st, err := client.Stats(ctx)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !*stages {
+		printJSON(st)
+		return
+	}
+	// Stage order mirrors a step's path through the server; a transport
+	// with no served steps is skipped.
+	order := []string{"decode", "queue_wait", "commit_hit", "commit_miss", "wal_append", "encode"}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TRANSPORT\tSTAGE\tCOUNT\tMEAN_US\tP99_US")
+	for _, tr := range []struct {
+		name string
+		ts   api.TransportStats
+	}{{"http", st.Transports.HTTP}, {"rpc", st.Transports.RPC}, {"local", st.Transports.Local}} {
+		if tr.ts.Steps == 0 && len(tr.ts.Stages) == 0 {
+			continue
+		}
+		if tr.ts.Steps > 0 {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\n",
+				tr.name, "(served e2e)", tr.ts.Steps, tr.ts.StepMeanMicros, tr.ts.StepP99Micros)
+		}
+		for _, name := range order {
+			sg, ok := tr.ts.Stages[name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\n", tr.name, name, sg.Count, sg.MeanMicros, sg.P99Micros)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 func runList(ctx context.Context, client api.Client, args []string) {

@@ -16,7 +16,9 @@
 //	    [-sparse-cutoff 0] [-kernel auto] \
 //	    [-max-sessions 4096] [-session-ttl 15m] [-workers 0] [-queue 64] \
 //	    [-cert-cache 65536] \
-//	    [-store-dir /var/lib/pristed] [-fsync] [-snapshot-every 256]
+//	    [-store-dir /var/lib/pristed] [-fsync] [-snapshot-every 256] \
+//	    [-log-format text] [-log-level info] [-slow-step 500ms] \
+//	    [-pprof-addr ""]
 //
 // With -store-dir set, every committed release is journaled to a
 // per-session write-ahead log before it is acknowledged, WALs are
@@ -37,8 +39,16 @@
 //	DELETE /v1/sessions/{id}        close a session
 //	GET    /v1/sessions/{id}/export export for migration
 //	POST   /v1/sessions/import      import a migrated session
-//	GET    /healthz                 liveness
+//	GET    /healthz                 liveness (503 while draining)
 //	GET    /statsz                  counters (sessions, steps, latency, transports)
+//	GET    /metricsz                Prometheus-text metrics
+//
+// Observability: structured logs go to stderr as -log-format text or
+// json at -log-level; every request carries a trace ID (the
+// X-Priste-Trace HTTP header / the RPC frame's trace field, generated
+// server-side when absent) that appears in slow-step warnings (steps
+// slower than -slow-step). -pprof-addr serves net/http/pprof on a
+// separate listener kept off the public API address.
 package main
 
 import (
@@ -46,15 +56,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"priste/internal/eventspec"
+	"priste/internal/obs"
 	"priste/internal/rpc"
 	"priste/internal/server"
 	"priste/internal/store"
@@ -82,9 +93,24 @@ func main() {
 		snapEvery   = flag.Int("snapshot-every", server.DefaultSnapshotEvery, "compact a session's WAL into a snapshot every N steps; negative disables")
 		cutoff      = flag.Float64("sparse-cutoff", 0, "drop mobility transitions below cutoff*(row max) and renormalise, making the chain sparse; 0 keeps the exact Gaussian kernel")
 		kernel      = flag.String("kernel", server.KernelAuto, "transition-kernel compilation: auto, dense or sparse (forced)")
+		logFormat   = flag.String("log-format", obs.LogText, "structured log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		slowStep    = flag.Duration("slow-step", server.DefaultSlowStep, "log a warning (with trace ID and stage breakdown) for steps at least this slow; negative disables")
+		pprofAddr   = flag.String("pprof-addr", "", "net/http/pprof listen address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Var(&events, "event", `default PRESENCE spec "LO-HI@START-END" (repeatable)`)
 	flag.Parse()
+
+	if *logFormat != obs.LogText && *logFormat != obs.LogJSON {
+		fmt.Fprintln(os.Stderr, "pristed: -log-format must be text or json")
+		os.Exit(2)
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pristed:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level)
 
 	if *workers < 0 {
 		// Config.Workers < 0 is an internal test hook (no pool at all);
@@ -120,6 +146,8 @@ func main() {
 		cfg.Events = events
 	}
 	cfg.SnapshotEvery = *snapEvery
+	cfg.Logger = logger
+	cfg.SlowStep = *slowStep
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, *fsync)
 		if err != nil {
@@ -156,9 +184,33 @@ func main() {
 		}
 		rpcSrv = rpc.NewServer(srv)
 		rpcSrv.Observe = srv.ObserveRPC
+		rpcSrv.ObserveStep = srv.ObserveRPCStep
 		go func() {
 			if err := rpcSrv.Serve(lis); err != nil {
-				log.Printf("pristed: rpc listener: %v", err)
+				logger.Error("pristed: rpc listener failed", "err", err)
+			}
+		}()
+	}
+
+	// pprof rides its own listener so profiling endpoints never share the
+	// public API address (or its metrics middleware).
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		lis, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pristed:", err)
+			os.Exit(1)
+		}
+		logger.Info("pristed: pprof listening", "addr", lis.Addr().String())
+		go func() {
+			psrv := &http.Server{Handler: pprofMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pristed: pprof listener failed", "err", err)
 			}
 		}()
 	}
@@ -176,16 +228,27 @@ func main() {
 	if *storeDir != "" {
 		durability = fmt.Sprintf("durable at %s (fsync=%v)", *storeDir, *fsync)
 		if st := srv.Stats().Store; st.Replayed > 0 || st.ReplayFailures > 0 {
-			log.Printf("pristed: rehydrated %d sessions (%d failed) in %.1fms, %d warm cache entries",
-				st.Replayed, st.ReplayFailures, st.ReplayMicros/1e3, st.WarmLoaded)
+			logger.Info("pristed: rehydrated sessions",
+				"replayed", st.Replayed, "failed", st.ReplayFailures,
+				"replay_ms", st.ReplayMicros/1e3, "warm_cache_entries", st.WarmLoaded)
 		}
 	}
-	transports := "http " + *addr
-	if *rpcAddr != "" {
-		transports += ", rpc " + *rpcAddr
+	health := srv.Health()
+	banner := []any{
+		"http_addr", *addr,
+		"grid", fmt.Sprintf("%dx%d", cfg.GridW, cfg.GridH),
+		"mechanism", cfg.Mechanism,
+		"kernel", effectiveKernel(cfg),
+		"max_sessions", cfg.MaxSessions,
+		"queue_depth", cfg.QueueDepth,
+		"durability", durability,
+		"version", health.Version,
+		"go", health.GoVersion,
 	}
-	log.Printf("pristed: serving on %s (map %dx%d, mechanism %s, max %d sessions, %d-deep queues, %s)",
-		transports, cfg.GridW, cfg.GridH, cfg.Mechanism, cfg.MaxSessions, cfg.QueueDepth, durability)
+	if *rpcAddr != "" {
+		banner = append(banner, "rpc_addr", *rpcAddr)
+	}
+	logger.Info("pristed: serving", banner...)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "pristed:", err)
 		os.Exit(1)
@@ -198,7 +261,16 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("pristed: drain cut short: %v (WAL still covers pending state)", err)
+		logger.Warn("pristed: drain cut short; WAL still covers pending state", "err", err)
 	}
-	log.Printf("pristed: shut down")
+	logger.Info("pristed: shut down")
+}
+
+// effectiveKernel names the transition-kernel mode the banner reports:
+// the forced mode, or "auto" qualified by what auto resolves to.
+func effectiveKernel(cfg server.Config) string {
+	if cfg.Kernel == "" {
+		return server.KernelAuto
+	}
+	return cfg.Kernel
 }

@@ -237,10 +237,19 @@ func (e SessionExport) Validate() error {
 	return nil
 }
 
-// Health is the liveness document of GET /healthz.
+// Health is the liveness document of GET /healthz. Status is "ok" for a
+// serving instance and "draining" (HTTP 503) once graceful shutdown has
+// begun — load balancers stop routing while in-flight work flushes.
 type Health struct {
 	Status   string `json:"status"`
 	Sessions int64  `json:"sessions"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+	// Version is the build's module version (from debug.ReadBuildInfo;
+	// "(devel)" for unstamped local builds) and GoVersion the toolchain
+	// that built it.
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
 }
 
 // Service is the versioned, transport-neutral service surface. Every
@@ -284,8 +293,11 @@ type Service interface {
 // (preserving per-session FIFO order at the enqueue point) and returns
 // a buffered completion channel instead of blocking, so one reader
 // goroutine can keep enqueuing while earlier steps are still in flight.
+// ctx is observability context — trace ID and ingress transport (see
+// internal/obs) — consulted at enqueue time only; cancelling it does not
+// cancel the step.
 type AsyncStepper interface {
-	StepAsync(id string, loc int) (<-chan StepOutcome, error)
+	StepAsync(ctx context.Context, id string, loc int) (<-chan StepOutcome, error)
 }
 
 // StepOutcome is one completed asynchronous step.

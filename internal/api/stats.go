@@ -13,6 +13,18 @@ type Stats struct {
 	CertCache  CertCacheStats  `json:"cert_cache"`
 	Store      StoreStats      `json:"store"`
 	Transports TransportsStats `json:"transports"`
+	Runtime    RuntimeStats    `json:"runtime"`
+}
+
+// RuntimeStats is the /statsz Go-runtime section (the same numbers the
+// go_* gauges expose at /metricsz).
+type RuntimeStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	GCCycles       uint32  `json:"gc_cycles"`
+	GCPauseMicros  float64 `json:"gc_pause_us"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
 }
 
 // SessionStats counts session lifecycle events.
@@ -35,9 +47,11 @@ type StepStats struct {
 	QueueRejections int64   `json:"queue_rejections"`
 }
 
-// LatencyStats summarises recent step latency. Samples counts the
-// observations backing the quantiles (the retained window, not the
-// lifetime step total — that is Steps.Served).
+// LatencyStats summarises engine commit latency (the worker-pool
+// Framework.Step call, all transports merged). The quantiles come from
+// the lifetime latency histogram — log-spaced buckets with ≤12.5%
+// relative quantization error — and Samples counts the observations
+// backing them (equals Steps.Served).
 type LatencyStats struct {
 	P50Micros float64 `json:"p50_us"`
 	P99Micros float64 `json:"p99_us"`
@@ -95,17 +109,53 @@ type StoreStats struct {
 	WarmLoadFailed int64 `json:"warm_load_failed"`
 }
 
-// TransportsStats breaks request counts and latency down by transport.
+// TransportsStats breaks request counts, latency and the per-step stage
+// timing down by ingress transport. Local covers steps driven through
+// the Server's Go API directly (embedding library callers, tests) —
+// engine-side stages are attributed there when no transport tagged the
+// request context.
 type TransportsStats struct {
-	HTTP TransportStats `json:"http"`
-	RPC  TransportStats `json:"rpc"`
+	HTTP  TransportStats `json:"http"`
+	RPC   TransportStats `json:"rpc"`
+	Local TransportStats `json:"local"`
 }
 
-// TransportStats is one transport's /statsz section: every request
-// served on the transport (steps, control calls, health probes) with
-// p50/p99 over the retained latency window.
+// TransportStats is one transport's /statsz section. Requests and the
+// request quantiles cover every request served on the transport (steps,
+// control calls, health probes). Steps counts successfully served step
+// requests, StepMeanMicros/StepP99Micros their end-to-end served
+// latency (HTTP: handler entry to response written; RPC: frame decoded
+// to response frame written), and Stages breaks that latency into the
+// named pipeline stages — the per-stage means sum to approximately the
+// end-to-end step mean. Quantiles come from lifetime log-spaced-bucket
+// histograms (≤12.5% relative error).
 type TransportStats struct {
 	Requests  int64   `json:"requests"`
 	P50Micros float64 `json:"p50_us"`
 	P99Micros float64 `json:"p99_us"`
+
+	Steps          int64                 `json:"steps,omitempty"`
+	StepMeanMicros float64               `json:"step_mean_us,omitempty"`
+	StepP99Micros  float64               `json:"step_p99_us,omitempty"`
+	Stages         map[string]StageStats `json:"stages,omitempty"`
+}
+
+// StageStats is one pipeline stage's timing on one transport. Stage
+// names and semantics:
+//
+//	decode      parse the step request (JSON body / binary frame)
+//	queue_wait  enqueue to worker pickup on the session FIFO
+//	commit_hit  engine commit, every release-condition check served
+//	            from the certified-release cache
+//	commit_miss engine commit with at least one cache miss (or no cache)
+//	wal_append  write-ahead journaling of the committed release
+//	encode      render + write the response (JSON / binary frame)
+//
+// WAL fsync time is not per-transport (the sync batches appends from
+// every transport); it is reported in StoreStats.FsyncMicros and the
+// priste_wal_fsync_seconds histogram.
+type StageStats struct {
+	Count      int64   `json:"count"`
+	MeanMicros float64 `json:"mean_us"`
+	P99Micros  float64 `json:"p99_us"`
 }

@@ -108,6 +108,14 @@ type StepResult struct {
 	Uniform bool
 	// CheckTime is the total wall time spent in the QP checks.
 	CheckTime time.Duration
+	// CertCacheHits and CertCacheMisses count per-event certified-release
+	// cache lookups across every candidate of this step (both zero when
+	// the plan carries no cache). A step with no misses committed without
+	// a single quantifier forward pass or QP solve — the serving layer
+	// uses that split to report cache-hit and cache-miss commit latency
+	// separately.
+	CertCacheHits   int
+	CertCacheMisses int
 }
 
 // Framework is the per-session half of the PriSTE release loop: the
@@ -227,7 +235,7 @@ func (f *Framework) Step(trueLoc int) (StepResult, error) {
 			return StepResult{}, fmt.Errorf("core: sampling: %w", err)
 		}
 		col := em.ColInto(f.colBuf, obs)
-		ok, conservative, dur, err := f.checkAll(t, math.Float64bits(alpha), obs, col, relOpts)
+		ok, conservative, dur, err := f.checkAll(&res, t, math.Float64bits(alpha), obs, col, relOpts)
 		res.CheckTime += dur
 		if err != nil {
 			return StepResult{}, err
@@ -270,7 +278,7 @@ func (f *Framework) Step(trueLoc int) (StepResult, error) {
 // containing Unknown are never stored — they encode an expired time
 // budget, not a property of the release — so with no QP deadline a
 // cache-backed run is decision-for-decision identical to an uncached one.
-func (f *Framework) checkAll(t int, alphaBits uint64, obs int, col mat.Vector, opts qp.ReleaseOptions) (ok, conservative bool, dur time.Duration, err error) {
+func (f *Framework) checkAll(res *StepResult, t int, alphaBits uint64, obs int, col mat.Vector, opts qp.ReleaseOptions) (ok, conservative bool, dur time.Duration, err error) {
 	start := time.Now()
 	defer func() { dur = time.Since(start) }()
 	cache := f.plan.cache
@@ -286,11 +294,13 @@ func (f *Framework) checkAll(t int, alphaBits uint64, obs int, col mat.Vector, o
 				Obs:       obs,
 			}
 			if dec, hit := cache.Get(key); hit {
+				res.CertCacheHits++
 				if !dec.OK {
 					return false, dec.Conservative, 0, nil
 				}
 				continue
 			}
+			res.CertCacheMisses++
 		}
 		chk, err := q.Check(col)
 		if err != nil {

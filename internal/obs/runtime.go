@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memReader caches runtime.ReadMemStats so a scrape storm cannot turn
+// into a stop-the-world storm: readings within cacheFor of each other
+// reuse the previous snapshot.
+type memReader struct {
+	mu       sync.Mutex
+	last     time.Time
+	cacheFor time.Duration
+	stats    runtime.MemStats
+}
+
+func (m *memReader) read() *runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.last) >= m.cacheFor {
+		runtime.ReadMemStats(&m.stats)
+		m.last = now
+	}
+	return &m.stats
+}
+
+// RegisterRuntime registers Go runtime gauges (goroutines, heap bytes and
+// objects, total GC pause, GC cycles) on r under the conventional go_*
+// names. Memory stats are cached for one second across scrapes.
+func RegisterRuntime(r *Registry) {
+	mr := &memReader{cacheFor: time.Second}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(mr.read().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(mr.read().HeapObjects) })
+	r.CounterFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		func() float64 { return float64(mr.read().TotalAlloc) })
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(mr.read().NumGC) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(mr.read().PauseTotalNs) / 1e9 })
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"priste/internal/api"
+	"priste/internal/obs"
 )
 
 // Client is the typed binary-RPC client. It implements api.Client — the
@@ -116,7 +117,7 @@ func (cc *clientConn) fail() {
 func (c *Client) readLoop(cc *clientConn) {
 	br := bufio.NewReaderSize(cc.conn, 32<<10)
 	for {
-		op, reqID, body, err := readFrame(br)
+		op, reqID, _, body, err := readFrame(br)
 		if err != nil {
 			c.mu.Lock()
 			if c.cc == cc {
@@ -137,8 +138,9 @@ func (c *Client) readLoop(cc *clientConn) {
 }
 
 // send enqueues one request frame and returns the connection it went
-// out on plus its response channel.
-func (c *Client) send(op byte, body []byte) (*clientConn, uint64, chan response, error) {
+// out on plus its response channel. trace is the request's trace ID (0:
+// none; the server generates one).
+func (c *Client) send(op byte, trace uint64, body []byte) (*clientConn, uint64, chan response, error) {
 	if frameHeader+len(body) > maxFrame {
 		// The server's readFrame would kill the connection — and every
 		// concurrent request on it — over this one oversized request
@@ -162,7 +164,7 @@ func (c *Client) send(op byte, body []byte) (*clientConn, uint64, chan response,
 		return nil, 0, nil, api.Errf(api.CodeUnavailable, "rpc: connection lost")
 	}
 	cc.pending[reqID] = ch
-	frame := appendFrame(nil, op, reqID, body)
+	frame := appendFrame(nil, op, reqID, trace, body)
 	_, werr := cc.bw.Write(frame)
 	if werr == nil {
 		werr = cc.bw.Flush()
@@ -199,13 +201,15 @@ func (c *Client) await(ctx context.Context, cc *clientConn, reqID uint64, ch cha
 	}
 }
 
-// step issues one binary step round-trip.
+// step issues one binary step round-trip. A trace ID on ctx
+// (obs.WithTrace) rides the request frame and correlates the server's
+// logs and metrics with this call.
 func (c *Client) step(ctx context.Context, id string, loc int) (api.StepResponse, error) {
 	body, err := appendStepReq(nil, id, loc)
 	if err != nil {
 		return api.StepResponse{}, err
 	}
-	cc, reqID, ch, err := c.send(opStep, body)
+	cc, reqID, ch, err := c.send(opStep, obs.TraceFrom(ctx), body)
 	if err != nil {
 		return api.StepResponse{}, err
 	}
@@ -227,7 +231,7 @@ func (c *Client) call(ctx context.Context, method byte, in, out any) error {
 		return err
 	}
 	body := append([]byte{method}, payload...)
-	cc, reqID, ch, err := c.send(opCall, body)
+	cc, reqID, ch, err := c.send(opCall, obs.TraceFrom(ctx), body)
 	if err != nil {
 		return err
 	}
@@ -281,10 +285,11 @@ func (c *Client) StepBatch(ctx context.Context, steps []api.BatchStepItem) ([]ap
 	}
 	calls := make([]inflight, len(steps))
 	results := make([]api.StepResponse, len(steps))
+	trace := obs.TraceFrom(ctx)
 	for i, item := range steps {
 		body, err := appendStepReq(nil, item.SessionID, item.Loc)
 		if err == nil {
-			calls[i].cc, calls[i].reqID, calls[i].ch, err = c.send(opStep, body)
+			calls[i].cc, calls[i].reqID, calls[i].ch, err = c.send(opStep, trace, body)
 		}
 		if err != nil {
 			results[i] = api.FailedStep(item.SessionID, err)

@@ -12,13 +12,20 @@
 //
 // Every message — request or response — is one frame:
 //
-//	[len:4 BE][op:1][reqID:8 BE][body:len-9]
+//	[len:4 BE][op:1][reqID:8 BE][trace:8 BE][body:len-17]
 //
 // len counts the bytes after the length prefix. A connection carries
 // any number of concurrent requests; responses are matched to requests
 // by reqID and may arrive in any order. Steps for one session keep
 // their FIFO order because the server enqueues them in frame-arrival
 // order before answering anything.
+//
+// trace is the request's observability trace ID (obs.NewTraceID); 0
+// means "none supplied", in which case the server generates one. The
+// server echoes the effective trace in the response frame, so a client
+// that sent 0 still learns the ID its request was logged under. The
+// trace carries no request semantics — it only correlates transports,
+// slow-step log lines and client-side records.
 //
 // Request ops:
 //
@@ -68,32 +75,33 @@ const (
 // a protocol error and kills the connection.
 const maxFrame = 64 << 20
 
-// frameHeader is op + reqID.
-const frameHeader = 1 + 8
+// frameHeader is op + reqID + trace.
+const frameHeader = 1 + 8 + 8
 
 // appendFrame appends one framed message to buf.
-func appendFrame(buf []byte, op byte, reqID uint64, body []byte) []byte {
+func appendFrame(buf []byte, op byte, reqID, trace uint64, body []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(frameHeader+len(body)))
 	buf = append(buf, op)
 	buf = binary.BigEndian.AppendUint64(buf, reqID)
+	buf = binary.BigEndian.AppendUint64(buf, trace)
 	return append(buf, body...)
 }
 
 // readFrame reads one frame from r.
-func readFrame(r io.Reader) (op byte, reqID uint64, body []byte, err error) {
+func readFrame(r io.Reader) (op byte, reqID, trace uint64, body []byte, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n < frameHeader || n > maxFrame {
-		return 0, 0, nil, fmt.Errorf("rpc: bad frame length %d", n)
+		return 0, 0, 0, nil, fmt.Errorf("rpc: bad frame length %d", n)
 	}
 	msg := make([]byte, n)
 	if _, err := io.ReadFull(r, msg); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
-	return msg[0], binary.BigEndian.Uint64(msg[1:9]), msg[9:], nil
+	return msg[0], binary.BigEndian.Uint64(msg[1:9]), binary.BigEndian.Uint64(msg[9:17]), msg[17:], nil
 }
 
 // appendStepReq encodes an opStep body.

@@ -15,21 +15,21 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	body := []byte("payload")
-	buf.Write(appendFrame(nil, opCall, 42, body))
-	op, reqID, got, err := readFrame(&buf)
-	if err != nil || op != opCall || reqID != 42 || !bytes.Equal(got, body) {
-		t.Fatalf("frame round trip: op=%d id=%d body=%q err=%v", op, reqID, got, err)
+	buf.Write(appendFrame(nil, opCall, 42, 0xabcdef, body))
+	op, reqID, trace, got, err := readFrame(&buf)
+	if err != nil || op != opCall || reqID != 42 || trace != 0xabcdef || !bytes.Equal(got, body) {
+		t.Fatalf("frame round trip: op=%d id=%d trace=%#x body=%q err=%v", op, reqID, trace, got, err)
 	}
 	// A frame length outside the bound is a protocol error.
 	var bad bytes.Buffer
 	bad.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	if _, _, _, err := readFrame(&bad); err == nil {
+	if _, _, _, _, err := readFrame(&bad); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 	// A torn frame reports an error rather than blocking forever.
 	var torn bytes.Buffer
-	torn.Write(appendFrame(nil, opStep, 1, []byte("xxxx"))[:7])
-	if _, _, _, err := readFrame(&torn); err == nil {
+	torn.Write(appendFrame(nil, opStep, 1, 0, []byte("xxxx"))[:7])
+	if _, _, _, _, err := readFrame(&torn); err == nil {
 		t.Fatal("torn frame accepted")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"priste/internal/api"
+	"priste/internal/obs"
 )
 
 // Server serves the binary RPC protocol over any api.Service. One
@@ -24,6 +25,10 @@ type Server struct {
 	// request served on this transport (the /statsz per-transport
 	// section; see server.Server.ObserveRPC).
 	Observe func(time.Duration)
+	// ObserveStep, when set before Serve, receives the end-to-end, frame
+	// decode and response encode times of every successfully served step
+	// request (see server.Server.ObserveRPCStep).
+	ObserveStep func(total, decode, encode time.Duration)
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -111,9 +116,9 @@ type connWriter struct {
 	buf  []byte
 }
 
-func (w *connWriter) send(op byte, reqID uint64, body []byte) {
+func (w *connWriter) send(op byte, reqID, trace uint64, body []byte) {
 	w.mu.Lock()
-	w.buf = appendFrame(w.buf[:0], op, reqID, body)
+	w.buf = appendFrame(w.buf[:0], op, reqID, trace, body)
 	_, _ = w.conn.Write(w.buf)
 	w.mu.Unlock()
 }
@@ -139,63 +144,76 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 	// ctx outlives individual requests and is cancelled with the
 	// connection: a Step blocked on a dead peer must not leak forever.
+	// Every request it spawns is tagged as RPC ingress for the per-
+	// transport stage metrics.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	ctx = obs.WithTransport(ctx, "rpc")
 	w := &connWriter{conn: conn}
 	br := bufio.NewReaderSize(conn, 32<<10)
 	stepper, hasAsync := s.svc.(api.AsyncStepper)
 	for {
-		op, reqID, body, err := readFrame(br)
+		op, reqID, trace, body, err := readFrame(br)
 		if err != nil {
 			return // peer gone or protocol error: drop the connection
 		}
 		start := time.Now()
+		if trace == 0 {
+			// No client-supplied trace: generate one so the slow-step log
+			// line and the echoed response frame still correlate.
+			trace = obs.NewTraceID()
+		}
+		rctx := obs.WithTrace(ctx, trace)
 		switch op {
 		case opStep:
 			id, loc, err := parseStepReq(body)
 			if err != nil {
-				s.fail(w, reqID, start, err)
+				s.fail(w, reqID, trace, start, err)
 				continue
 			}
 			if hasAsync {
-				ch, err := stepper.StepAsync(id, loc)
+				ch, err := stepper.StepAsync(rctx, id, loc)
 				if err != nil {
-					s.fail(w, reqID, start, err)
+					s.fail(w, reqID, trace, start, err)
 					continue
 				}
-				go func(reqID uint64, start time.Time) {
+				decode := time.Since(start)
+				go func(reqID, trace uint64, start time.Time, decode time.Duration) {
 					select {
 					case out := <-ch:
 						if out.Err != nil {
-							s.fail(w, reqID, start, out.Err)
+							s.fail(w, reqID, trace, start, out.Err)
 							return
 						}
-						w.send(opStepOK, reqID, appendStepResp(nil, out.Resp))
-						s.observe(start)
+						encStart := time.Now()
+						w.send(opStepOK, reqID, trace, appendStepResp(nil, out.Resp))
+						s.observeStep(start, decode, time.Since(encStart))
 					case <-ctx.Done():
 					}
-				}(reqID, start)
+				}(reqID, trace, start, decode)
 			} else {
 				// Without StepAsync the only way to preserve pipelined
 				// same-session FIFO order is to serve the step before
 				// reading the next frame. server.Server implements
 				// StepAsync, so the real deployment never pays this.
-				resp, err := s.svc.Step(ctx, id, loc)
+				decode := time.Since(start)
+				resp, err := s.svc.Step(rctx, id, loc)
 				if err != nil {
-					s.fail(w, reqID, start, err)
+					s.fail(w, reqID, trace, start, err)
 					continue
 				}
-				w.send(opStepOK, reqID, appendStepResp(nil, resp))
-				s.observe(start)
+				encStart := time.Now()
+				w.send(opStepOK, reqID, trace, appendStepResp(nil, resp))
+				s.observeStep(start, decode, time.Since(encStart))
 			}
 		case opCall:
 			if len(body) == 0 {
-				s.fail(w, reqID, start, api.Errf(api.CodeInvalidArgument, "rpc: empty call frame"))
+				s.fail(w, reqID, trace, start, api.Errf(api.CodeInvalidArgument, "rpc: empty call frame"))
 				continue
 			}
 			method, payload := body[0], body[1:]
-			go func(reqID uint64, start time.Time) {
-				resp, err := s.dispatch(ctx, method, payload)
+			go func(reqID, trace uint64, start time.Time) {
+				resp, err := s.dispatch(rctx, method, payload)
 				if err == nil && frameHeader+len(resp) > maxFrame {
 					// A response the peer's readFrame would reject must
 					// fail THIS request, not poison the shared connection
@@ -204,20 +222,32 @@ func (s *Server) handleConn(conn net.Conn) {
 					err = api.Errf(api.CodeResourceExhausted, "rpc: response exceeds the frame limit; use the HTTP transport for this call")
 				}
 				if err != nil {
-					s.fail(w, reqID, start, err)
+					s.fail(w, reqID, trace, start, err)
 					return
 				}
-				w.send(opCallOK, reqID, resp)
+				w.send(opCallOK, reqID, trace, resp)
 				s.observe(start)
-			}(reqID, start)
+			}(reqID, trace, start)
 		default:
-			s.fail(w, reqID, start, api.Errf(api.CodeInvalidArgument, "rpc: unknown op"))
+			s.fail(w, reqID, trace, start, api.Errf(api.CodeInvalidArgument, "rpc: unknown op"))
 		}
 	}
 }
 
-func (s *Server) fail(w *connWriter, reqID uint64, start time.Time, err error) {
-	w.send(opError, reqID, appendErrResp(nil, err))
+// observeStep reports one successfully served step into both observer
+// hooks: the request observer and the per-stage step observer.
+func (s *Server) observeStep(start time.Time, decode, encode time.Duration) {
+	total := time.Since(start)
+	if s.Observe != nil {
+		s.Observe(total)
+	}
+	if s.ObserveStep != nil {
+		s.ObserveStep(total, decode, encode)
+	}
+}
+
+func (s *Server) fail(w *connWriter, reqID, trace uint64, start time.Time, err error) {
+	w.send(opError, reqID, trace, appendErrResp(nil, err))
 	s.observe(start)
 }
 

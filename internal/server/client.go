@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"priste/internal/api"
+	"priste/internal/obs"
 )
 
 // Client is the typed HTTP/JSON client for the pristed API: a thin
@@ -52,6 +53,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if trace := obs.TraceFrom(ctx); trace != 0 {
+		// A trace on ctx (obs.WithTrace) propagates to the server, whose
+		// slow-step logs then carry the same ID as this caller's records.
+		req.Header.Set(obs.TraceHeader, obs.FormatTrace(trace))
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -41,6 +41,7 @@ func serveRPC(t *testing.T, srv *Server) (*rpc.Server, *rpc.Client) {
 	}
 	rpcSrv := rpc.NewServer(srv)
 	rpcSrv.Observe = srv.ObserveRPC
+	rpcSrv.ObserveStep = srv.ObserveRPCStep
 	go func() { _ = rpcSrv.Serve(lis) }()
 	t.Cleanup(func() { rpcSrv.Close() })
 	client, err := rpc.Dial(lis.Addr().String())

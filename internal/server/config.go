@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"time"
@@ -21,6 +22,9 @@ const (
 	// DefaultSnapshotEvery is the snapshot cadence: a session's WAL is
 	// compacted into a snapshot every this many committed steps.
 	DefaultSnapshotEvery = 256
+	// DefaultSlowStep is the served-step duration at which the worker
+	// pool logs a slow-step warning with the step's stage breakdown.
+	DefaultSlowStep = 500 * time.Millisecond
 )
 
 // Config describes one pristed deployment: the shared world model every
@@ -98,6 +102,16 @@ type Config struct {
 	// disables periodic snapshots (the WAL still makes sessions
 	// recoverable — replay just reads a longer log).
 	SnapshotEvery int
+
+	// Logger receives the server's structured logs: replay failures,
+	// WAL append/snapshot errors, slow steps. Nil discards them (the
+	// library default; cmd/pristed always installs one).
+	Logger *slog.Logger
+	// SlowStep is the pool-side step duration (queue wait + commit +
+	// WAL append) at or above which a warning with the step's trace ID
+	// and stage breakdown is logged. Zero uses DefaultSlowStep;
+	// negative disables slow-step logging.
+	SlowStep time.Duration
 }
 
 // Mechanism names accepted by Config and session-creation requests.
@@ -170,6 +184,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.SlowStep == 0 {
+		c.SlowStep = DefaultSlowStep
 	}
 	return c
 }

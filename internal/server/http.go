@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"priste/internal/api"
+	"priste/internal/obs"
 )
 
 // Wire types and error codes live in the transport-neutral api package;
@@ -66,8 +67,16 @@ const (
 //	GET    /v1/sessions/{id}/export export a session for migration
 //	POST   /v1/sessions/import      import a migrated session
 //	POST   /v1/step                 batch multi-user ingest
-//	GET    /healthz                 liveness
+//	GET    /healthz                 liveness (503 while draining)
 //	GET    /statsz                  service counters
+//	GET    /metricsz                Prometheus-text metrics
+//
+// Every request is traced: a client-supplied X-Priste-Trace header
+// (16 hex digits, see obs.TraceHeader) is propagated through the step
+// pipeline into the slow-step logs, a missing or malformed one is
+// replaced by a server-generated ID, and the effective trace is echoed
+// on the response — so every response names the ID to grep the server
+// logs for.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -80,9 +89,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/step", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /statsz", s.handleStats)
+	mux.Handle("GET /metricsz", s.metrics.Handler())
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		mux.ServeHTTP(w, r)
+		trace := obs.ParseTrace(r.Header.Get(obs.TraceHeader))
+		if trace == 0 {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, obs.FormatTrace(trace))
+		ctx := obs.WithTrace(obs.WithTransport(r.Context(), "http"), trace)
+		mux.ServeHTTP(w, r.WithContext(ctx))
 		s.metrics.observeTransport(transportHTTP, time.Since(start))
 	})
 }
@@ -157,11 +173,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req api.StepRequest
 	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
 		writeError(w, err)
 		return
 	}
+	decode := time.Since(start)
 	resp, err := s.Step(r.Context(), r.PathValue("id"), req.Loc)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -172,7 +190,9 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	encStart := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	s.metrics.observeServedStep(transportHTTP, time.Since(start), decode, time.Since(encStart))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -208,7 +228,15 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Health())
+	h := s.Health()
+	status := http.StatusOK
+	if h.Status != "ok" {
+		// "draining": graceful shutdown in progress. 503 pulls the
+		// instance out of load-balancer rotation before the listener
+		// closes.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

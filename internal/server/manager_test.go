@@ -85,7 +85,7 @@ func TestTTLEviction(t *testing.T) {
 	// Drive the manager's sweep directly with a hand-held clock; the
 	// server's janitor just calls sweep(time.Now()) on a ticker.
 	ttl := time.Minute
-	metrics := &Metrics{}
+	metrics := newMetrics()
 	mgr := newManager(10, ttl, metrics)
 	now := time.Now()
 	for _, id := range []string{"a", "b"} {
@@ -184,11 +184,11 @@ func TestQueueBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := srv.stepAsync("u", 0); err != nil {
+		if _, err := srv.stepAsync(context.Background(), "u", 0); err != nil {
 			t.Fatalf("enqueue %d: %v", i, err)
 		}
 	}
-	if _, err := srv.stepAsync("u", 0); !errors.Is(err, ErrQueueFull) {
+	if _, err := srv.stepAsync(context.Background(), "u", 0); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("enqueue on full queue: err = %v, want ErrQueueFull", err)
 	}
 	if n := srv.metrics.Snapshot().Steps.QueueRejections; n != 1 {
@@ -209,7 +209,7 @@ func TestQueueBackpressure(t *testing.T) {
 func TestSampledEviction(t *testing.T) {
 	const max = evictExactThreshold + 22
 	const total = 2 * max
-	metrics := &Metrics{}
+	metrics := newMetrics()
 	mgr := newManager(max, time.Minute, metrics)
 	base := time.Now()
 	var last string
@@ -241,7 +241,7 @@ func TestSampledEviction(t *testing.T) {
 // the durability tombstone hook; shutdown (CloseAll) must not, so
 // journaled sessions survive a restart.
 func TestTombstoneHookFiresOnRemoveNotCloseAll(t *testing.T) {
-	metrics := &Metrics{}
+	metrics := newMetrics()
 	mgr := newManager(2, time.Minute, metrics)
 	tombs := make(map[string]int)
 	mgr.onRemove = func(id string) { tombs[id]++ }
@@ -282,7 +282,7 @@ func TestTombstoneHookFiresOnRemoveNotCloseAll(t *testing.T) {
 func BenchmarkPutChurnOverCapacity(b *testing.B) {
 	for _, max := range []int{512, 4096} {
 		b.Run(fmt.Sprintf("max=%d", max), func(b *testing.B) {
-			metrics := &Metrics{}
+			metrics := newMetrics()
 			mgr := newManager(max, time.Minute, metrics)
 			base := time.Now()
 			for i := 0; i < max; i++ {
@@ -312,7 +312,7 @@ func TestPendingStepsFailOnClose(t *testing.T) {
 	if _, err := srv.CreateSession(CreateSessionRequest{ID: "u"}); err != nil {
 		t.Fatal(err)
 	}
-	done, err := srv.stepAsync("u", 0)
+	done, err := srv.stepAsync(context.Background(), "u", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,98 +1,153 @@
 package server
 
 import (
-	"sort"
-	"sync"
-	"sync/atomic"
+	"net/http"
+	"runtime"
 	"time"
 
 	"priste/internal/api"
 	"priste/internal/core"
+	"priste/internal/obs"
 )
 
-// latencyWindow is the number of recent latencies retained per window
-// for the p50/p99 estimates.
-const latencyWindow = 2048
-
-// latWindow is a fixed-size sliding window of recent latencies backing
-// the /statsz quantile estimates; one instance serves step latency,
-// further instances serve the per-transport sections.
-type latWindow struct {
-	mu  sync.Mutex
-	buf [latencyWindow]int64 // nanoseconds, ring
-	n   int64                // total observed
-}
-
-func (l *latWindow) observe(d time.Duration) {
-	l.mu.Lock()
-	l.buf[l.n%latencyWindow] = int64(d)
-	l.n++
-	l.mu.Unlock()
-}
-
-// quantiles returns the p50 and p99 of the retained window and the
-// number of samples actually backing them (at most latencyWindow).
-func (l *latWindow) quantiles() (p50, p99 time.Duration, samples int64) {
-	l.mu.Lock()
-	k := l.n
-	if k > latencyWindow {
-		k = latencyWindow
-	}
-	tmp := make([]int64, k)
-	copy(tmp, l.buf[:k])
-	l.mu.Unlock()
-	if k == 0 {
-		return 0, 0, 0
-	}
-	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
-	at := func(q float64) time.Duration {
-		i := int(q * float64(k-1))
-		return time.Duration(tmp[i])
-	}
-	return at(0.50), at(0.99), k
-}
-
 // Transports served by one Server; indexes into Metrics.transports.
+// Local is the implicit transport of steps driven through the Go API
+// directly (embedding callers, tests): pool-side stages always have a
+// transport to land on even when no ingress codec tagged the context.
 const (
 	transportHTTP = iota
 	transportRPC
+	transportLocal
 	numTransports
 )
 
-// transportMetrics is one transport's request counter and latency
-// window.
-type transportMetrics struct {
-	requests atomic.Int64
-	lat      latWindow
+// transportNames are the obs context tags and the metric label values.
+var transportNames = [numTransports]string{"http", "rpc", "local"}
+
+// transportIndex maps an obs transport tag onto its metrics slot;
+// unknown or absent tags land on local.
+func transportIndex(name string) int {
+	switch name {
+	case transportNames[transportHTTP]:
+		return transportHTTP
+	case transportNames[transportRPC]:
+		return transportRPC
+	default:
+		return transportLocal
+	}
 }
 
-// Metrics holds the service counters behind /statsz: expvar-style atomic
-// counters plus sliding windows of recent latencies for quantiles.
+// Step pipeline stages; see api.StageStats for the semantics of each.
+// The per-stage means of a served step sum to approximately its
+// end-to-end served latency — the decomposition that names where the
+// serving overhead over the raw engine rate goes.
+const (
+	stageDecode = iota
+	stageQueueWait
+	stageCommitHit
+	stageCommitMiss
+	stageWalAppend
+	stageEncode
+	numStages
+)
+
+var stageNames = [numStages]string{"decode", "queue_wait", "commit_hit", "commit_miss", "wal_append", "encode"}
+
+// transportMetrics is one transport's request and step instrumentation.
+// Request/step counts are the histograms' counts — no separate counters
+// on the hot path.
+type transportMetrics struct {
+	// reqLat covers every request served on the transport (steps,
+	// control calls, health probes).
+	reqLat *obs.Histogram
+	// stepLat is the end-to-end served latency of successful step
+	// requests (HTTP: handler entry to response written; RPC: frame
+	// decoded to response frame written).
+	stepLat *obs.Histogram
+	stages  [numStages]*obs.Histogram
+}
+
+// Metrics is the service instrumentation: atomic counters/gauges plus
+// lock-free log-spaced-bucket latency histograms, all registered in an
+// obs.Registry so one structure backs both the /statsz JSON document
+// and the Prometheus-text /metricsz exposition.
 type Metrics struct {
-	sessionsLive     atomic.Int64
-	sessionsCreated  atomic.Int64
-	sessionsEvicted  atomic.Int64
-	sessionsImported atomic.Int64
-	sessionsExported atomic.Int64
+	reg *obs.Registry
 
-	stepsServed     atomic.Int64
-	stepErrors      atomic.Int64
-	uniformReleases atomic.Int64
-	queueRejections atomic.Int64
+	sessionsLive     *obs.Gauge
+	sessionsCreated  *obs.Counter
+	sessionsEvicted  *obs.Counter
+	sessionsImported *obs.Counter
+	sessionsExported *obs.Counter
 
-	storeAppendErrors    atomic.Int64
-	storeSnapshotErrors  atomic.Int64
-	storeTombstoneErrors atomic.Int64
-	storeReplayed        atomic.Int64
-	storeReplayFailures  atomic.Int64
-	storeReplayNanos     atomic.Int64
-	storeWarmLoadFailed  atomic.Int64
+	stepsServed     *obs.Counter
+	stepErrors      *obs.Counter
+	uniformReleases *obs.Counter
+	queueRejections *obs.Counter
 
-	lat        latWindow
+	storeAppendErrors    *obs.Counter
+	storeSnapshotErrors  *obs.Counter
+	storeTombstoneErrors *obs.Counter
+	storeReplayed        *obs.Counter
+	storeReplayFailures  *obs.Counter
+	storeReplayNanos     *obs.Counter
+	storeWarmLoadFailed  *obs.Counter
+
+	// walFsync times WAL append fsyncs. It is not per-transport: one
+	// sync persists appends from every transport, so attribution would
+	// be arbitrary.
+	walFsync   *obs.Histogram
 	transports [numTransports]transportMetrics
 }
 
-func (m *Metrics) observeStep(d time.Duration, res core.StepResult, err error) {
+func newMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{reg: reg}
+	m.sessionsLive = reg.Gauge("priste_sessions_live", "Live sessions.")
+	m.sessionsCreated = reg.Counter("priste_sessions_created_total", "Sessions created.")
+	m.sessionsEvicted = reg.Counter("priste_sessions_evicted_total", "Sessions evicted (LRU or idle TTL).")
+	m.sessionsImported = reg.Counter("priste_sessions_imported_total", "Sessions imported from another instance.")
+	m.sessionsExported = reg.Counter("priste_sessions_exported_total", "Sessions exported for migration.")
+
+	m.stepsServed = reg.Counter("priste_steps_served_total", "Steps committed by the engine.")
+	m.stepErrors = reg.Counter("priste_step_errors_total", "Steps failed in the engine.")
+	m.uniformReleases = reg.Counter("priste_uniform_releases_total", "Steps that fell back to the uniform (zero-information) release.")
+	m.queueRejections = reg.Counter("priste_queue_rejections_total", "Steps rejected by per-session queue backpressure.")
+
+	m.storeAppendErrors = reg.Counter("priste_store_append_errors_total", "Failed write-ahead journal appends.")
+	m.storeSnapshotErrors = reg.Counter("priste_store_snapshot_errors_total", "Failed snapshot compactions.")
+	m.storeTombstoneErrors = reg.Counter("priste_store_tombstone_errors_total", "Failed delete/evict tombstones.")
+	m.storeReplayed = reg.Counter("priste_store_sessions_replayed_total", "Sessions rehydrated from the journal at startup.")
+	m.storeReplayFailures = reg.Counter("priste_store_replay_failures_total", "Persisted sessions that failed replay and were skipped.")
+	m.storeReplayNanos = &obs.Counter{} // internal: total replay time, reported via /statsz only
+	m.storeWarmLoadFailed = reg.Counter("priste_store_warm_load_failures_total", "Persisted cert-cache files that could not be read at startup.")
+
+	m.walFsync = reg.Histogram("priste_wal_fsync_seconds", "WAL append fsync latency (all transports batched).")
+	for i := range m.transports {
+		label := obs.Label{Key: "transport", Value: transportNames[i]}
+		t := &m.transports[i]
+		t.reqLat = reg.Histogram("priste_request_seconds", "Request latency, any request served on the transport.", label)
+		t.stepLat = reg.Histogram("priste_step_served_seconds", "End-to-end served latency of successful step requests.", label)
+		for st := range t.stages {
+			t.stages[st] = reg.Histogram("priste_step_stage_seconds", "Per-stage step latency; stages sum to ~ priste_step_served_seconds.",
+				label, obs.Label{Key: "stage", Value: stageNames[st]})
+		}
+	}
+	obs.RegisterRuntime(reg)
+	return m
+}
+
+// Registry returns the metric registry backing /metricsz; the server
+// registers its external sections (plans, cert cache, store) on it.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// Handler returns the Prometheus-text /metricsz endpoint.
+func (m *Metrics) Handler() http.Handler { return m.reg.Handler() }
+
+// observeStep records the pool-side outcome of one step: queue wait,
+// engine commit (split by certified-release cache hit/miss) and WAL
+// append time (wal < 0 when the deployment is not durable).
+func (m *Metrics) observeStep(transport int, wait, commit, wal time.Duration, res core.StepResult, err error) {
 	if err != nil {
 		m.stepErrors.Add(1)
 		return
@@ -101,36 +156,87 @@ func (m *Metrics) observeStep(d time.Duration, res core.StepResult, err error) {
 	if res.Uniform {
 		m.uniformReleases.Add(1)
 	}
-	m.lat.observe(d)
+	t := &m.transports[transport]
+	t.stages[stageQueueWait].Observe(wait)
+	if res.CertCacheMisses == 0 && res.CertCacheHits > 0 {
+		t.stages[stageCommitHit].Observe(commit)
+	} else {
+		t.stages[stageCommitMiss].Observe(commit)
+	}
+	if wal >= 0 {
+		t.stages[stageWalAppend].Observe(wal)
+	}
+}
+
+// observeServedStep records one successfully served step request at the
+// transport codec: its end-to-end latency plus the decode and encode
+// stages. The pool-side stages of the same step arrive via observeStep.
+func (m *Metrics) observeServedStep(transport int, total, decode, encode time.Duration) {
+	t := &m.transports[transport]
+	t.stepLat.Observe(total)
+	t.stages[stageDecode].Observe(decode)
+	t.stages[stageEncode].Observe(encode)
 }
 
 // observeTransport records one request served on a transport (any
 // request: steps, control calls, health probes).
 func (m *Metrics) observeTransport(transport int, d time.Duration) {
-	t := &m.transports[transport]
-	t.requests.Add(1)
-	t.lat.observe(d)
+	m.transports[transport].reqLat.Observe(d)
 }
 
 func (m *Metrics) transportStats(transport int) api.TransportStats {
 	t := &m.transports[transport]
-	p50, p99, _ := t.lat.quantiles()
-	return api.TransportStats{
-		Requests:  t.requests.Load(),
-		P50Micros: float64(p50) / 1e3,
-		P99Micros: float64(p99) / 1e3,
+	ts := api.TransportStats{
+		Requests:  t.reqLat.Count(),
+		P50Micros: float64(t.reqLat.Quantile(0.50)) / 1e3,
+		P99Micros: float64(t.reqLat.Quantile(0.99)) / 1e3,
+		Steps:     t.stepLat.Count(),
 	}
+	if ts.Steps > 0 {
+		ts.StepMeanMicros = t.stepLat.Mean() / 1e3
+		ts.StepP99Micros = float64(t.stepLat.Quantile(0.99)) / 1e3
+	}
+	stages := make(map[string]api.StageStats, numStages)
+	for i, h := range t.stages {
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		stages[stageNames[i]] = api.StageStats{
+			Count:      n,
+			MeanMicros: h.Mean() / 1e3,
+			P99Micros:  float64(h.Quantile(0.99)) / 1e3,
+		}
+	}
+	if len(stages) > 0 {
+		ts.Stages = stages
+	}
+	return ts
+}
+
+// commitLatency merges the per-transport commit histograms (hit and
+// miss) into one engine-commit latency view. Merging is exact: all the
+// histograms share one bucket geometry.
+func (m *Metrics) commitLatency() *obs.Histogram {
+	var h obs.Histogram
+	for i := range m.transports {
+		h.Merge(m.transports[i].stages[stageCommitHit])
+		h.Merge(m.transports[i].stages[stageCommitMiss])
+	}
+	return &h
 }
 
 // Snapshot returns a consistent-enough view of the counters.
 func (m *Metrics) Snapshot() api.Stats {
-	p50, p99, samples := m.lat.quantiles()
+	lat := m.commitLatency()
 	served := m.stepsServed.Load()
 	uniform := m.uniformReleases.Load()
 	var rate float64
 	if served > 0 {
 		rate = float64(uniform) / float64(served)
 	}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
 	return api.Stats{
 		Sessions: api.SessionStats{
 			Live:     m.sessionsLive.Load(),
@@ -147,13 +253,21 @@ func (m *Metrics) Snapshot() api.Stats {
 			QueueRejections: m.queueRejections.Load(),
 		},
 		Latency: api.LatencyStats{
-			P50Micros: float64(p50) / 1e3,
-			P99Micros: float64(p99) / 1e3,
-			Samples:   samples,
+			P50Micros: float64(lat.Quantile(0.50)) / 1e3,
+			P99Micros: float64(lat.Quantile(0.99)) / 1e3,
+			Samples:   lat.Count(),
 		},
 		Transports: api.TransportsStats{
-			HTTP: m.transportStats(transportHTTP),
-			RPC:  m.transportStats(transportRPC),
+			HTTP:  m.transportStats(transportHTTP),
+			RPC:   m.transportStats(transportRPC),
+			Local: m.transportStats(transportLocal),
+		},
+		Runtime: api.RuntimeStats{
+			Goroutines:     runtime.NumGoroutine(),
+			HeapAllocBytes: mem.HeapAlloc,
+			HeapObjects:    mem.HeapObjects,
+			GCCycles:       mem.NumGC,
+			GCPauseMicros:  float64(mem.PauseTotalNs) / 1e3,
 		},
 	}
 }

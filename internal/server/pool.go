@@ -1,11 +1,13 @@
 package server
 
 import (
+	"log/slog"
 	"sync"
 	"time"
 
 	"priste/internal/api"
 	"priste/internal/core"
+	"priste/internal/obs"
 )
 
 // pool is the step execution layer: a fixed set of workers pulling
@@ -21,6 +23,13 @@ type pool struct {
 	stopOnce sync.Once
 	metrics  *Metrics
 
+	// logger and slowStep drive the slow-step warning: a step whose
+	// pool-side time (queue wait + commit + WAL append) reaches slowStep
+	// is logged with its trace ID and stage breakdown. slowStep <= 0
+	// disables the check.
+	logger   *slog.Logger
+	slowStep time.Duration
+
 	// onStep, when set, runs after every successfully committed step,
 	// before the result is acknowledged to the caller — the write-ahead
 	// point where the durability layer journals the release. It runs on
@@ -34,13 +43,15 @@ type pool struct {
 	onSnap func(s *Session)
 }
 
-func newPool(workers, maxSessions int, metrics *Metrics) *pool {
+func newPool(workers, maxSessions int, metrics *Metrics, logger *slog.Logger, slowStep time.Duration) *pool {
 	p := &pool{
 		// A session holds at most one run-queue slot; headroom covers
 		// sessions evicted while scheduled.
-		runq:    make(chan *Session, 2*maxSessions+16),
-		quit:    make(chan struct{}),
-		metrics: metrics,
+		runq:     make(chan *Session, 2*maxSessions+16),
+		quit:     make(chan struct{}),
+		metrics:  metrics,
+		logger:   logger,
+		slowStep: slowStep,
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -89,15 +100,20 @@ func (p *pool) drain(s *Session) {
 			continue
 		}
 		start := time.Now()
+		wait := start.Sub(j.enqueued)
 		res, err := s.fw.Step(j.loc)
+		commit := time.Since(start)
+		wal := time.Duration(-1) // -1: no durability layer ran
 		if err == nil {
 			s.steps.Add(1)
 			if p.onStep != nil {
+				ws := time.Now()
 				p.onStep(s, res)
+				wal = time.Since(ws)
 			}
 		}
 		s.touch(time.Now())
-		p.metrics.observeStep(time.Since(start), res, err)
+		p.metrics.observeStep(j.transport, wait, commit, wal, res, err)
 		switch {
 		case err != nil:
 			j.fail(err)
@@ -105,6 +121,25 @@ func (p *pool) drain(s *Session) {
 			j.apiDone <- api.StepOutcome{Resp: toStepResponse("", res)}
 		default:
 			j.done <- stepOutcome{res: res}
+		}
+		if p.slowStep > 0 && err == nil {
+			total := wait + commit
+			if wal > 0 {
+				total += wal
+			}
+			if total >= p.slowStep {
+				p.logger.Warn("server: slow step",
+					"trace", obs.FormatTrace(j.trace),
+					"session", s.id,
+					"transport", transportNames[j.transport],
+					"t", res.T,
+					"queue_wait_us", float64(wait)/1e3,
+					"commit_us", float64(commit)/1e3,
+					"wal_append_us", float64(max(wal, 0))/1e3,
+					"cache_hits", res.CertCacheHits,
+					"cache_misses", res.CertCacheMisses,
+					"uniform", res.Uniform)
+			}
 		}
 		if s.needSnap {
 			s.needSnap = false

@@ -521,7 +521,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 	dones := make([]chan stepOutcome, pending)
 	for i := range dones {
-		done, err := srv.stepAsync("u", i%36)
+		done, err := srv.stepAsync(context.Background(), "u", i%36)
 		if err != nil {
 			t.Fatalf("enqueue %d: %v", i, err)
 		}
@@ -545,7 +545,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if err := <-shutdownDone; err != nil {
 		t.Fatalf("Shutdown: %v", err)
 	}
-	if _, err := srv.stepAsync("u", 0); !errors.Is(err, ErrDraining) {
+	if _, err := srv.stepAsync(context.Background(), "u", 0); !errors.Is(err, ErrDraining) {
 		t.Fatalf("step after shutdown: %v, want ErrDraining", err)
 	}
 	if _, err := srv.CreateSession(CreateSessionRequest{ID: "v"}); !errors.Is(err, ErrDraining) {

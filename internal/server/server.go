@@ -12,7 +12,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
+	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -27,6 +31,7 @@ import (
 	"priste/internal/lppm"
 	"priste/internal/markov"
 	"priste/internal/mat"
+	"priste/internal/obs"
 	"priste/internal/store"
 	"priste/internal/world"
 )
@@ -54,6 +59,9 @@ type Server struct {
 	registry *PlanRegistry
 	pool     *pool
 	metrics  *Metrics
+	logger   *slog.Logger
+	// start anchors the uptime reported by Health and Stats.
+	start time.Time
 
 	// worldTag canonically identifies the world model; it scopes every
 	// persisted identity (session journals, warm cache keys) so state
@@ -111,7 +119,7 @@ func New(cfg Config) (*Server, error) {
 	if _, err := eventspec.ParseAll(cfg.Events, g.States(), 0); err != nil {
 		return nil, err
 	}
-	metrics := &Metrics{}
+	metrics := newMetrics()
 	workers := cfg.Workers
 	if workers < 0 {
 		workers = 0
@@ -138,19 +146,32 @@ func New(cfg Config) (*Server, error) {
 		pi:          markov.Uniform(g.States()),
 		mgr:         newManager(cfg.MaxSessions, cfg.SessionTTL, metrics),
 		registry:    newPlanRegistry(cache, worldTag),
-		pool:        newPool(workers, cfg.MaxSessions, metrics),
+		pool:        newPool(workers, cfg.MaxSessions, metrics, cfg.Logger, cfg.SlowStep),
 		metrics:     metrics,
+		logger:      cfg.Logger,
+		start:       time.Now(),
 		worldTag:    worldTag,
 		durable:     !isNull,
 		janitorQuit: make(chan struct{}),
 	}
+	s.registerExternalMetrics()
 	if s.durable {
 		s.pool.onStep = s.persistStep
 		s.pool.onSnap = s.snapshotSession
+		// Optional store capabilities: the FileStore times its WAL
+		// append fsyncs into the wal_fsync histogram and logs its
+		// load-time anomalies structurally.
+		if so, ok := cfg.Store.(interface{ SetSyncObserver(func(time.Duration)) }); ok {
+			so.SetSyncObserver(metrics.walFsync.Observe)
+		}
+		if sl, ok := cfg.Store.(interface{ SetLogger(*slog.Logger) }); ok {
+			sl.SetLogger(cfg.Logger)
+		}
 		if entries, err := cfg.Store.LoadCache(); err == nil {
 			s.registry.setWarm(entries)
 		} else {
 			s.metrics.storeWarmLoadFailed.Add(1)
+			s.logger.Warn("server: warm cert-cache load failed; starting cold", "err", err)
 		}
 		if err := s.rehydrate(); err != nil {
 			s.pool.stop()
@@ -187,6 +208,33 @@ func New(cfg Config) (*Server, error) {
 		go s.janitor()
 	}
 	return s, nil
+}
+
+// registerExternalMetrics bridges state owned outside Metrics — the
+// plan registry, the certified-release cache and the durability store —
+// into the /metricsz registry as scrape-time functions.
+func (s *Server) registerExternalMetrics() {
+	reg := s.metrics.Registry()
+	reg.GaugeFunc("priste_plans_live", "Retained compiled plans.",
+		func() float64 { return float64(s.registry.Stats().Live) })
+	reg.CounterFunc("priste_plans_compiled_total", "Plan compilations (plan-level cache misses).",
+		func() float64 { return float64(s.registry.Stats().Compiled) })
+	if c := s.registry.Cache(); c != nil {
+		reg.CounterFunc("priste_cert_cache_hits_total", "Certified-release cache hits.",
+			func() float64 { return float64(c.Stats().Hits) })
+		reg.CounterFunc("priste_cert_cache_misses_total", "Certified-release cache misses.",
+			func() float64 { return float64(c.Stats().Misses) })
+		reg.GaugeFunc("priste_cert_cache_entries", "Certified-release cache entries.",
+			func() float64 { return float64(c.Stats().Entries) })
+	}
+	if s.durable {
+		reg.CounterFunc("priste_store_appends_total", "WAL step records journaled.",
+			func() float64 { return float64(s.cfg.Store.Stats().Appends) })
+		reg.CounterFunc("priste_store_fsyncs_total", "Explicit data syncs (0 without -fsync).",
+			func() float64 { return float64(s.cfg.Store.Stats().Fsyncs) })
+		reg.CounterFunc("priste_store_snapshots_total", "Snapshot compactions.",
+			func() float64 { return float64(s.cfg.Store.Stats().Snapshots) })
+	}
 }
 
 // cacheSaveInterval paces the periodic warm-cache persistence.
@@ -251,11 +299,15 @@ func (s *Server) rehydrate() error {
 			// that the next restart can still recover from. The id stays
 			// reclaimable through the orphan path in register.
 			s.metrics.storeReplayFailures.Add(1)
+			s.logger.Warn("server: session replay failed; journal preserved",
+				"session", st.Meta.ID, "steps", len(st.Tags), "err", err)
 			continue
 		}
 		if err := s.mgr.Put(sess); err != nil {
 			// Duplicate persisted id: keep the first.
 			s.metrics.storeReplayFailures.Add(1)
+			s.logger.Warn("server: duplicate persisted session id; keeping the first",
+				"session", st.Meta.ID, "err", err)
 			continue
 		}
 		s.mgr.enforceCap()
@@ -401,6 +453,7 @@ func (s *Server) Plans() *PlanRegistry { return s.registry }
 // and per-transport sections.
 func (s *Server) Stats() api.Stats {
 	st := s.metrics.Snapshot()
+	st.Runtime.UptimeSeconds = time.Since(s.start).Seconds()
 	st.Plans = s.registry.Stats()
 	if c := s.registry.Cache(); c != nil {
 		cs := c.Stats()
@@ -686,7 +739,7 @@ func toStepResponse(id string, res core.StepResult) api.StepResponse {
 // the transports and the batch endpoint preserve their own arrival
 // order.
 func (s *Server) Step(ctx context.Context, id string, loc int) (api.StepResponse, error) {
-	done, err := s.stepAsync(id, loc)
+	done, err := s.stepAsync(ctx, id, loc)
 	if err != nil {
 		return api.StepResponse{}, err
 	}
@@ -704,10 +757,12 @@ func (s *Server) Step(ctx context.Context, id string, loc int) (api.StepResponse
 // StepAsync implements api.AsyncStepper for pipelining transports: the
 // step is enqueued before StepAsync returns (fixing its FIFO position)
 // and the buffered channel delivers the wire-typed outcome straight
-// from the worker — no forwarding goroutine on the hot path.
-func (s *Server) StepAsync(id string, loc int) (<-chan api.StepOutcome, error) {
+// from the worker — no forwarding goroutine on the hot path. ctx
+// carries the observability tags (transport, trace ID) and is consulted
+// only at enqueue time.
+func (s *Server) StepAsync(ctx context.Context, id string, loc int) (<-chan api.StepOutcome, error) {
 	j := stepJob{loc: loc, apiDone: make(chan api.StepOutcome, 1)}
-	if err := s.enqueueStep(id, j); err != nil {
+	if err := s.enqueueStep(ctx, id, j); err != nil {
 		return nil, err
 	}
 	return j.apiDone, nil
@@ -722,7 +777,7 @@ func (s *Server) StepBatch(ctx context.Context, steps []api.BatchStepItem) []api
 	dones := make([]chan stepOutcome, len(steps))
 	results := make([]api.StepResponse, len(steps))
 	for i, item := range steps {
-		done, err := s.stepAsync(item.SessionID, item.Loc)
+		done, err := s.stepAsync(ctx, item.SessionID, item.Loc)
 		if err != nil {
 			results[i] = api.FailedStep(item.SessionID, err)
 			continue
@@ -748,17 +803,19 @@ func (s *Server) StepBatch(ctx context.Context, steps []api.BatchStepItem) []api
 }
 
 // stepAsync enqueues one step and returns the completion channel.
-func (s *Server) stepAsync(id string, loc int) (chan stepOutcome, error) {
+func (s *Server) stepAsync(ctx context.Context, id string, loc int) (chan stepOutcome, error) {
 	j := stepJob{loc: loc, done: make(chan stepOutcome, 1)}
-	if err := s.enqueueStep(id, j); err != nil {
+	if err := s.enqueueStep(ctx, id, j); err != nil {
 		return nil, err
 	}
 	return j.done, nil
 }
 
 // enqueueStep places a job on the session's FIFO queue and wakes the
-// pool, rejecting drains, unknown ids and full queues.
-func (s *Server) enqueueStep(id string, j stepJob) error {
+// pool, rejecting drains, unknown ids and full queues. The job's
+// observability context — ingress transport, trace ID, enqueue instant
+// — is stamped here from ctx (see obs.WithTransport/WithTrace).
+func (s *Server) enqueueStep(ctx context.Context, id string, j stepJob) error {
 	if s.draining.Load() {
 		return ErrDraining
 	}
@@ -766,6 +823,9 @@ func (s *Server) enqueueStep(id string, j stepJob) error {
 	if !ok {
 		return ErrNotFound
 	}
+	j.transport = transportIndex(obs.TransportFrom(ctx))
+	j.trace = obs.TraceFrom(ctx)
+	j.enqueued = time.Now()
 	wake, err := sess.enqueue(j, s.cfg.QueueDepth)
 	if err != nil {
 		if err == ErrQueueFull {
@@ -853,9 +913,30 @@ func (s *Server) ListSessions(req api.ListSessionsRequest) (api.SessionPage, err
 	return page, nil
 }
 
-// Health implements api.Service.
+// Health implements api.Service. Status is "ok", or "draining" once
+// Shutdown has started (the HTTP codec maps that to 503 so load
+// balancers drop the instance from rotation before the listener dies).
 func (s *Server) Health() api.Health {
-	return api.Health{Status: "ok", Sessions: s.metrics.sessionsLive.Load()}
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	return api.Health{
+		Status:        status,
+		Sessions:      s.metrics.sessionsLive.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Version:       buildVersion(),
+		GoVersion:     runtime.Version(),
+	}
+}
+
+// buildVersion reports the main module's version as stamped by the Go
+// toolchain ("(devel)" for plain source builds).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 func sessionInfo(s *Session) api.SessionInfo {
@@ -877,6 +958,18 @@ func sessionInfo(s *Session) api.SessionInfo {
 // server's observer hook.
 func (s *Server) ObserveRPC(d time.Duration) {
 	s.metrics.observeTransport(transportRPC, d)
+}
+
+// ObserveRPCStep records one successfully served RPC step request —
+// its end-to-end latency plus the frame decode and encode stages; the
+// RPC server's ObserveStep hook feeds it.
+func (s *Server) ObserveRPCStep(total, decode, encode time.Duration) {
+	s.metrics.observeServedStep(transportRPC, total, decode, encode)
+}
+
+// MetricsHandler returns the Prometheus-text /metricsz endpoint.
+func (s *Server) MetricsHandler() http.Handler {
+	return s.metrics.Handler()
 }
 
 // ExportSession implements api.Service: it captures a session's

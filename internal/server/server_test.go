@@ -70,7 +70,7 @@ func TestConcurrentSessions(t *testing.T) {
 			// must equal enqueue order.
 			dones := make([]chan stepOutcome, steps)
 			for k := range dones {
-				done, err := srv.stepAsync(id, rng.Intn(m))
+				done, err := srv.stepAsync(context.Background(), id, rng.Intn(m))
 				if err != nil {
 					errc <- fmt.Errorf("%s step %d: %w", id, k, err)
 					return
@@ -338,7 +338,7 @@ func TestServerClose(t *testing.T) {
 	if _, err := srv.CreateSession(CreateSessionRequest{ID: "u"}); err != nil {
 		t.Fatal(err)
 	}
-	done, err := srv.stepAsync("u", 0)
+	done, err := srv.stepAsync(context.Background(), "u", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

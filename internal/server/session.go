@@ -51,6 +51,14 @@ type stepJob struct {
 	export  bool
 	done    chan stepOutcome
 	apiDone chan api.StepOutcome
+
+	// Observability context, stamped at enqueue time: the ingress
+	// transport (metrics attribution for the pool-side stages), the
+	// request's trace ID (slow-step logs), and the enqueue instant
+	// (the queue_wait stage).
+	transport int
+	trace     uint64
+	enqueued  time.Time
 }
 
 // fail delivers err on whichever completion channel the job carries.

@@ -4,11 +4,13 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"priste/internal/world"
 )
@@ -34,12 +36,42 @@ type FileStore struct {
 	closed  bool
 
 	appends, appendBytes, fsyncs atomic.Int64
+	fsyncNanos                   atomic.Int64
 	snapshots, tombstones        atomic.Int64
 	sessionsLoaded, loadFailures atomic.Int64
 	corruptSuffixes              atomic.Int64
 
 	// gens mints journal generation tokens (see Store.CreateSession).
 	gens atomic.Uint64
+
+	// syncObs, when set, receives the duration of every WAL append sync
+	// (the serving-path fsync; see SetSyncObserver).
+	syncObs atomic.Pointer[func(time.Duration)]
+	// logger reports load-time anomalies; defaults to discard.
+	logger atomic.Pointer[slog.Logger]
+}
+
+// SetSyncObserver installs fn to receive the wall time of every WAL
+// append fsync — the serving layer feeds it into the wal_fsync latency
+// histogram. Pass nil to remove. Safe to call concurrently with appends.
+func (s *FileStore) SetSyncObserver(fn func(time.Duration)) {
+	if fn == nil {
+		s.syncObs.Store(nil)
+		return
+	}
+	s.syncObs.Store(&fn)
+}
+
+// SetLogger installs a structured logger for load-time anomalies
+// (sessions skipped as corrupt, truncated WAL suffixes). Nil restores
+// the silent default.
+func (s *FileStore) SetLogger(l *slog.Logger) { s.logger.Store(l) }
+
+func (s *FileStore) log() *slog.Logger {
+	if l := s.logger.Load(); l != nil {
+		return l
+	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // walHandle serialises writes to one session's WAL. gen is the
@@ -117,10 +149,16 @@ func (s *FileStore) maybeSync(f *os.File) error {
 	if !s.fsync {
 		return nil
 	}
+	start := time.Now()
 	if err := f.Sync(); err != nil {
 		return err
 	}
+	d := time.Since(start)
 	s.fsyncs.Add(1)
+	s.fsyncNanos.Add(int64(d))
+	if fn := s.syncObs.Load(); fn != nil {
+		(*fn)(d)
+	}
 	return nil
 }
 
@@ -137,10 +175,12 @@ func (s *FileStore) syncDir(path string) error {
 		return err
 	}
 	defer d.Close()
+	start := time.Now()
 	if err := d.Sync(); err != nil {
 		return err
 	}
 	s.fsyncs.Add(1)
+	s.fsyncNanos.Add(int64(time.Since(start)))
 	return nil
 }
 
@@ -436,6 +476,8 @@ func (s *FileStore) loadSession(id string) (SessionState, bool) {
 	hasMeta := false
 	fail := func() (SessionState, bool) {
 		s.loadFailures.Add(1)
+		s.log().Warn("store: session load failed; files preserved for post-mortem",
+			"session", id, "wal", s.walPath(id))
 		// Register a write-refusing placeholder so the id's surviving
 		// files — the post-mortem evidence — cannot be silently wiped by
 		// a later CreateSession (it reports ErrAlreadyJournaled; an
@@ -531,11 +573,14 @@ func (s *FileStore) loadSession(id string) (SessionState, bool) {
 func (s *FileStore) finishLoad(id string, state SessionState, hasMeta bool, validLen int, corrupt bool) (uint64, bool) {
 	if !hasMeta {
 		s.loadFailures.Add(1)
+		s.log().Warn("store: session journal has no recoverable meta record", "session", id)
 		return 0, false
 	}
 	path := s.walPath(id)
 	if corrupt {
 		s.corruptSuffixes.Add(1)
+		s.log().Warn("store: wal suffix corrupt; loaded consistent prefix",
+			"session", id, "recovered_steps", len(state.Tags), "sidecar", path+".corrupt")
 		if orig, err := os.ReadFile(path); err == nil {
 			_ = os.WriteFile(path+".corrupt", orig, 0o644)
 		}
@@ -616,6 +661,7 @@ func (s *FileStore) Stats() Stats {
 		Appends:         s.appends.Load(),
 		AppendBytes:     s.appendBytes.Load(),
 		Fsyncs:          s.fsyncs.Load(),
+		FsyncMicros:     float64(s.fsyncNanos.Load()) / 1e3,
 		Snapshots:       s.snapshots.Load(),
 		Tombstones:      s.tombstones.Load(),
 		SessionsLoaded:  s.sessionsLoaded.Load(),

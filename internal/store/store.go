@@ -106,8 +106,12 @@ type Stats struct {
 	// Appends counts step records written; AppendBytes their total size.
 	Appends     int64 `json:"appends"`
 	AppendBytes int64 `json:"append_bytes"`
-	// Fsyncs counts explicit data syncs (0 when running without -fsync).
-	Fsyncs int64 `json:"fsyncs"`
+	// Fsyncs counts explicit data syncs (0 when running without -fsync);
+	// FsyncMicros is their total wall time. Fsync batches appends from
+	// every transport, so the timing is reported here rather than in the
+	// per-transport stage breakdown.
+	Fsyncs      int64   `json:"fsyncs"`
+	FsyncMicros float64 `json:"fsync_us"`
 	// Snapshots counts snapshot compactions; Tombstones deleted sessions.
 	Snapshots  int64 `json:"snapshots"`
 	Tombstones int64 `json:"tombstones"`

@@ -366,6 +366,9 @@ type (
 	BatchStepItem = api.BatchStepItem
 	// ServerStats is the /statsz counter snapshot.
 	ServerStats = api.Stats
+	// TransportStats is one transport's serving-latency and per-stage
+	// breakdown inside ServerStats.
+	TransportStats = api.TransportStats
 )
 
 // Versioned API core: the transport-neutral service and client
@@ -416,11 +419,13 @@ func NewServerClient(baseURL string, httpClient *http.Client) *ServerClient {
 }
 
 // NewRPCServer returns a binary RPC front-end over a release service;
-// serve it with Serve(net.Listener) and wire srv.ObserveRPC into
-// Observe for per-transport /statsz latency.
+// serve it with Serve(net.Listener). The per-transport request and
+// step-stage observers are pre-wired into the service's /statsz and
+// /metricsz instrumentation.
 func NewRPCServer(srv *Server) *RPCServer {
 	rs := rpc.NewServer(srv)
 	rs.Observe = srv.ObserveRPC
+	rs.ObserveStep = srv.ObserveRPCStep
 	return rs
 }
 

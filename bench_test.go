@@ -6,9 +6,10 @@ package priste_test
 
 import (
 	"context"
+	"errors"
+	"io"
 	"math/rand"
 	"net"
-	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
@@ -206,6 +207,58 @@ func BenchmarkSharedPlanManySessions(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStepCeiling measures the raw engine throughput the
+// serving benchmarks are compared against: the exact plan the
+// benchmark-scale server compiles (6×6 grid, Gaussian chain, one
+// PRESENCE event, certified-release cache on, per-session mechanism and
+// PCG session RNG — the server's own session construction), stepped
+// directly through per-goroutine Frameworks with no transport, queue,
+// or encoding in the way. benchjson divides each ServerStep* result by
+// this ceiling to derive the serving_gap section of the artifact.
+func BenchmarkEngineStepCeiling(b *testing.B) {
+	g, err := priste.NewGrid(6, 6, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := priste.GaussianChain(g, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := priste.ParseEventSpec("0-5@2-4", g.States(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := priste.DefaultConfig(0.5, 1.0)
+	cfg.QPTimeout = 0
+	mf := func() (priste.Mechanism, error) { return priste.NewPlanarLaplace(g), nil }
+	plan, err := priste.NewPlan(mf, priste.Homogeneous(chain), []priste.Event{ev}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan.EnableCache(priste.NewCertCache(1 << 16))
+	var nextSession atomic.Int64
+	m := g.States()
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		seed := nextSession.Add(1)
+		fw, err := plan.NewSession(priste.NewSessionRNG(seed))
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for pb.Next() {
+			if _, err := fw.Step(rng.Intn(m)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "steps/sec")
+}
+
 // benchServer starts a benchmark-scale pristed server.
 func benchServer(b *testing.B) (*priste.Server, priste.ServerConfig) {
 	b.Helper()
@@ -291,13 +344,108 @@ func reportStages(b *testing.B, srv *priste.Server, transport string) {
 	b.ReportMetric(ts.StepMeanMicros, "e2e_us")
 }
 
-// BenchmarkServerStep measures HTTP/JSON serving-path throughput.
+// benchStreamSteps drives the streaming ingest path: parallel
+// goroutines each own one session and one StepStream, a receiver
+// goroutine drains releases while the benchmark loop fire-and-forgets
+// locations, and the tail is drained through CloseSend before the
+// goroutine reports. One iteration is one streamed certified release.
+func benchStreamSteps(b *testing.B, srv *priste.Server, transport string, cfg priste.ServerConfig, dial func() priste.APIClient) {
+	var nextSession atomic.Int64
+	m := cfg.GridW * cfg.GridH
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		client := dial()
+		sc, ok := client.(priste.StreamClient)
+		if !ok {
+			b.Error("client does not implement StreamClient")
+			return
+		}
+		ctx := context.Background()
+		seed := nextSession.Add(1)
+		info, err := client.CreateSession(ctx, priste.CreateSessionRequest{Seed: &seed})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		st, err := sc.StreamSteps(ctx, info.ID, 0)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		recvDone := make(chan error, 1)
+		go func() {
+			for {
+				if _, err := st.Recv(); err != nil {
+					if errors.Is(err, io.EOF) {
+						recvDone <- nil
+					} else {
+						recvDone <- err
+					}
+					return
+				}
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		for pb.Next() {
+			if err := st.Send(rng.Intn(m)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		_ = st.CloseSend()
+		if err := <-recvDone; err != nil {
+			b.Error(err)
+		}
+		_ = st.Close()
+	})
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "steps/sec")
+	reportStages(b, srv, transport)
+}
+
+// BenchmarkServerStep measures HTTP/JSON serving-path throughput over
+// the tuned default client transport (connection reuse sized to the
+// benchmark's parallelism, compression off on the step path).
 func BenchmarkServerStep(b *testing.B) {
 	srv, cfg := benchServer(b)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	benchSteps(b, srv, "http", cfg, func() priste.APIClient {
-		return priste.NewServerClient(ts.URL, &http.Client{})
+		return priste.NewServerClient(ts.URL, nil)
+	})
+}
+
+// BenchmarkServerStepStream measures windowed stream ingest over the
+// binary RPC transport: fire-and-forget step frames with batched acks
+// instead of one request/response round-trip per step.
+func BenchmarkServerStepStream(b *testing.B) {
+	srv, cfg := benchServer(b)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rpcSrv := priste.NewRPCServer(srv)
+	go func() { _ = rpcSrv.Serve(lis) }()
+	defer rpcSrv.Close()
+	benchStreamSteps(b, srv, "rpc", cfg, func() priste.APIClient {
+		client, err := priste.DialRPC(lis.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { client.Close() })
+		return client
+	})
+}
+
+// BenchmarkServerStepStreamHTTP measures the HTTP stream client's
+// pipelined micro-batches over POST /v1/sessions/{id}/stream.
+func BenchmarkServerStepStreamHTTP(b *testing.B) {
+	srv, cfg := benchServer(b)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	benchStreamSteps(b, srv, "http", cfg, func() priste.APIClient {
+		return priste.NewServerClient(ts.URL, nil)
 	})
 }
 

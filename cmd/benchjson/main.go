@@ -5,14 +5,21 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_PR6.json] [-benchtime 1x] \
-//	    [-spec "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan"]
+//	go run ./cmd/benchjson [-out BENCH_PR7.json] [-benchtime 1x] \
+//	    [-spec "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan|EngineStepCeiling"]
 //
-// Each -spec entry is package=benchRegexp; the default covers the mat
+// Each -spec entry is package=benchRegexp, optionally suffixed
+// @benchtime to override the global -benchtime for that entry alone
+// (e.g. ".=ServerStep@400x" runs the serving benchmarks long enough
+// for steady-state steps/sec while the expensive kernel benchmarks
+// keep the short global budget). The default covers the mat
 // and world kernel benchmarks plus the root serving benchmarks — the
-// ServerStep pattern picks up both transports (BenchmarkServerStep over
-// HTTP and BenchmarkServerStepRPC over the binary RPC protocol), so the
-// document records HTTP-vs-RPC steps/sec side by side.
+// ServerStep pattern picks up every transport and ingest mode
+// (BenchmarkServerStep over HTTP, BenchmarkServerStepRPC over the
+// binary RPC protocol, BenchmarkServerStepStream/-HTTP over the
+// windowed stream pipeline), so the document records them side by
+// side, and EngineStepCeiling records the raw engine throughput the
+// serving numbers are compared against.
 //
 // Serving benchmarks additionally report the server's per-stage latency
 // means (decode, queue_wait, commit_hit/commit_miss, wal_append, encode
@@ -21,6 +28,13 @@
 // benchmark, with the stage sum and the measured end-to-end served mean
 // side by side so the breakdown's coverage of real latency is auditable
 // in the committed artifact.
+//
+// When the run includes BenchmarkEngineStepCeiling, benchjson also
+// derives a "serving_gap" section: for every ServerStep* result it
+// records served steps/sec against the engine ceiling and their ratio
+// (served/ceiling — 1.0 means the transport adds no overhead), so the
+// serving-overhead gap each PR is chasing is a single committed number
+// per transport.
 package main
 
 import (
@@ -42,6 +56,9 @@ type Result struct {
 	Package    string `json:"package"`
 	Name       string `json:"name"`
 	Iterations int64  `json:"iterations"`
+	// Benchtime is set when the entry overrode the document-level
+	// benchtime (the spec's @benchtime suffix).
+	Benchtime string `json:"benchtime,omitempty"`
 	// Metrics maps unit → value, e.g. "ns/op", "allocs/op", "B/op",
 	// "steps/sec", "commits/sec".
 	Metrics map[string]float64 `json:"metrics"`
@@ -63,6 +80,17 @@ type StageBreakdown struct {
 	CoverageRatio float64 `json:"coverage_ratio"`
 }
 
+// ServingGap compares one serving benchmark against the raw engine
+// ceiling measured in the same run: the fraction of engine throughput
+// that survives the serving path (1.0 = the transport is free).
+type ServingGap struct {
+	Name                  string  `json:"name"`
+	ServedStepsPerSec     float64 `json:"served_steps_per_sec"`
+	CeilingStepsPerSec    float64 `json:"ceiling_steps_per_sec"`
+	RatioServedOverCeil   float64 `json:"ratio"`
+	OverheadMicrosPerStep float64 `json:"overhead_us_per_step"`
+}
+
 // Doc is the output document.
 type Doc struct {
 	GeneratedAt string           `json:"generated_at"`
@@ -71,12 +99,13 @@ type Doc struct {
 	Benchtime   string           `json:"benchtime,omitempty"`
 	Results     []Result         `json:"results"`
 	Stages      []StageBreakdown `json:"stages,omitempty"`
+	ServingGap  []ServingGap     `json:"serving_gap,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output file")
+	out := flag.String("out", "BENCH_PR7.json", "output file")
 	benchtime := flag.String("benchtime", "", "passed to go test -benchtime; empty = default")
-	spec := flag.String("spec", "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan",
+	spec := flag.String("spec", "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan|EngineStepCeiling",
 		"comma-separated package=benchRegexp entries")
 	flag.Parse()
 
@@ -89,17 +118,25 @@ func main() {
 	for _, entry := range strings.Split(*spec, ",") {
 		pkg, re, ok := strings.Cut(strings.TrimSpace(entry), "=")
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: bad spec entry %q (want package=regexp)\n", entry)
+			fmt.Fprintf(os.Stderr, "benchjson: bad spec entry %q (want package=regexp[@benchtime])\n", entry)
 			os.Exit(2)
 		}
-		results, err := runPackage(pkg, re, *benchtime)
+		bt, overridden := *benchtime, ""
+		if re2, suffix, ok := strings.Cut(re, "@"); ok {
+			re, bt, overridden = re2, suffix, suffix
+		}
+		results, err := runPackage(pkg, re, bt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		for i := range results {
+			results[i].Benchtime = overridden
+		}
 		doc.Results = append(doc.Results, results...)
 	}
 	doc.Stages = stageBreakdowns(doc.Results)
+	doc.ServingGap = servingGaps(doc.Results)
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -142,6 +179,39 @@ func stageBreakdowns(results []Result) []StageBreakdown {
 			sb.CoverageRatio = sum / e2e
 		}
 		out = append(out, sb)
+	}
+	return out
+}
+
+// servingGaps derives the serving-overhead section: every ServerStep*
+// result's steps/sec against the BenchmarkEngineStepCeiling steps/sec
+// from the same run. Nil when the run didn't include the ceiling.
+func servingGaps(results []Result) []ServingGap {
+	var ceiling float64
+	for _, r := range results {
+		if r.Name == "BenchmarkEngineStepCeiling" {
+			ceiling = r.Metrics["steps/sec"]
+		}
+	}
+	if ceiling <= 0 {
+		return nil
+	}
+	var out []ServingGap
+	for _, r := range results {
+		if !strings.HasPrefix(r.Name, "BenchmarkServerStep") {
+			continue
+		}
+		served, ok := r.Metrics["steps/sec"]
+		if !ok || served <= 0 {
+			continue
+		}
+		out = append(out, ServingGap{
+			Name:                  r.Name,
+			ServedStepsPerSec:     served,
+			CeilingStepsPerSec:    ceiling,
+			RatioServedOverCeil:   served / ceiling,
+			OverheadMicrosPerStep: (1/served - 1/ceiling) * 1e6,
+		})
 	}
 	return out
 }

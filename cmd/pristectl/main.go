@@ -14,6 +14,11 @@
 //	create [-id ID] [-seed N] [-eps E] [-alpha A] [-mech M] [-delta D] [-event SPEC]...
 //	get ID                 session state
 //	step ID LOC            release one location
+//	stream [-window W] [-n N -seed S -states M] ID
+//	                       pump a step stream: locations from stdin
+//	                       (whitespace-separated), or -n random-walk steps;
+//	                       certified releases print as JSON lines in order
+//	watch [-n N] ID        follow the session's SSE release stream (HTTP only)
 //	delete ID              close a session
 //	list [-limit N] [-cursor C]
 //	export ID              write the session's migratable state to stdout
@@ -28,12 +33,19 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
 	"os"
 	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -61,7 +73,7 @@ func main() {
 	rpcAddr := flag.String("rpc", "", "pristed RPC address (overrides -http when set)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-command timeout")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pristectl [-http URL | -rpc ADDR] <create|get|step|delete|list|export|import|stats|health> [args]")
+		fmt.Fprintln(os.Stderr, "usage: pristectl [-http URL | -rpc ADDR] <create|get|step|stream|watch|delete|list|export|import|stats|health> [args]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -104,6 +116,13 @@ func main() {
 		}
 		res, err := client.Step(ctx, args[0], loc)
 		exit(res, err)
+	case "stream":
+		runStream(ctx, client, args)
+	case "watch":
+		if *rpcAddr != "" {
+			fatalf("watch follows the SSE release stream and needs the HTTP transport (-http)")
+		}
+		runWatch(ctx, *httpBase, args)
 	case "delete":
 		if err := client.DeleteSession(ctx, oneArg(cmd, args)); err != nil {
 			fatalf("%v", err)
@@ -215,6 +234,142 @@ func runStats(ctx context.Context, client api.Client, args []string) {
 		}
 	}
 	if err := tw.Flush(); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// runStream pumps a step stream into one session: Send on one
+// goroutine, Recv on this one, so the in-flight window stays full. With
+// -n it drives a seeded random walk (deterministic, for smoke tests);
+// otherwise it reads whitespace-separated locations from stdin. Each
+// certified release prints as one JSON line, in step order.
+func runStream(ctx context.Context, client api.Client, args []string) {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	window := fs.Int("window", 0, "in-flight step window (0 = server default)")
+	n := fs.Int("n", 0, "drive N seeded random-walk steps instead of reading locations from stdin")
+	seed := fs.Int64("seed", 1, "random-walk RNG seed (with -n)")
+	states := fs.Int("states", 100, "random-walk location space size (with -n)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("usage: stream [-window W] [-n N -seed S -states M] ID")
+	}
+	sc, ok := client.(api.StreamClient)
+	if !ok {
+		fatalf("transport does not support step streams")
+	}
+	st, err := sc.StreamSteps(ctx, fs.Arg(0), *window)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer st.Close()
+
+	sendErr := make(chan error, 1)
+	go func() {
+		sendErr <- pumpSteps(st, *n, *seed, *states)
+		_ = st.CloseSend()
+	}()
+
+	enc := json.NewEncoder(os.Stdout)
+	for {
+		resp, err := st.Recv()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := enc.Encode(resp); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if err := <-sendErr; err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// pumpSteps feeds the stream's input side: a seeded random walk with
+// -n, stdin locations otherwise.
+func pumpSteps(st api.StepStream, n int, seed int64, states int) error {
+	if n > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			if err := st.Send(rng.Intn(states)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		loc, err := strconv.Atoi(sc.Text())
+		if err != nil {
+			return fmt.Errorf("bad location %q", sc.Text())
+		}
+		if err := st.Send(loc); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// runWatch follows a session's SSE release stream (GET
+// /v1/sessions/{id}/stream), printing each release's JSON payload as
+// one line. -n exits after that many releases; otherwise it follows
+// until the stream ends (session deleted, subscriber lagged) or the
+// -timeout expires.
+func runWatch(ctx context.Context, base string, args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	n := fs.Int("n", 0, "exit after N releases (0 = follow until the stream ends)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("usage: watch [-n N] ID")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/v1/sessions/"+url.PathEscape(fs.Arg(0))+"/stream", nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatalf("stream: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	// Minimal SSE consumer: accumulate event/data lines, dispatch on the
+	// blank separator. The server sends single-line data payloads.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var event, data string
+	count := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			switch event {
+			case "release":
+				fmt.Println(data)
+				count++
+				if *n > 0 && count >= *n {
+					return
+				}
+			case "end":
+				fmt.Fprintln(os.Stderr, "pristectl: stream ended: "+data)
+				return
+			}
+			event, data = "", ""
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
 		fatalf("%v", err)
 	}
 }

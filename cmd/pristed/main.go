@@ -18,6 +18,7 @@
 //	    [-cert-cache 65536] \
 //	    [-store-dir /var/lib/pristed] [-fsync] [-snapshot-every 256] \
 //	    [-log-format text] [-log-level info] [-slow-step 500ms] \
+//	    [-sched-affinity 8] [-drain-batch 64] [-stream-buffer 256] \
 //	    [-pprof-addr ""]
 //
 // With -store-dir set, every committed release is journaled to a
@@ -34,6 +35,8 @@
 //	POST   /v1/sessions             {"seed":1,"events":["0-9@3-7"]}
 //	GET    /v1/sessions             list sessions (limit/cursor)
 //	POST   /v1/sessions/{id}/step   {"loc":42}
+//	POST   /v1/sessions/{id}/stream {"locs":[42,43,...]} windowed stream ingest
+//	GET    /v1/sessions/{id}/stream SSE push stream of certified releases
 //	POST   /v1/step                 {"steps":[{"session_id":"..","loc":42},...]}
 //	GET    /v1/sessions/{id}        session state
 //	DELETE /v1/sessions/{id}        close a session
@@ -97,6 +100,9 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		slowStep    = flag.Duration("slow-step", server.DefaultSlowStep, "log a warning (with trace ID and stage breakdown) for steps at least this slow; negative disables")
 		pprofAddr   = flag.String("pprof-addr", "", "net/http/pprof listen address (e.g. localhost:6060); empty disables profiling")
+		schedAff    = flag.Int("sched-affinity", server.DefaultSchedAffinity, "max consecutive same-plan sessions a worker serves before reverting to arrival order; negative disables plan affinity")
+		drainBatch  = flag.Int("drain-batch", server.DefaultDrainBatch, "max steps one worker visit commits for a session before parking it behind its peers; negative removes the cap")
+		streamBuf   = flag.Int("stream-buffer", server.DefaultStreamBuffer, "per-subscriber buffered releases on the SSE stream; a subscriber lagging further is dropped")
 	)
 	flag.Var(&events, "event", `default PRESENCE spec "LO-HI@START-END" (repeatable)`)
 	flag.Parse()
@@ -148,6 +154,9 @@ func main() {
 	cfg.SnapshotEvery = *snapEvery
 	cfg.Logger = logger
 	cfg.SlowStep = *slowStep
+	cfg.SchedAffinity = *schedAff
+	cfg.DrainBatch = *drainBatch
+	cfg.StreamBuffer = *streamBuf
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, *fsync)
 		if err != nil {
@@ -185,6 +194,10 @@ func main() {
 		rpcSrv = rpc.NewServer(srv)
 		rpcSrv.Observe = srv.ObserveRPC
 		rpcSrv.ObserveStep = srv.ObserveRPCStep
+		rpcSrv.OnStreamOpen = srv.ObserveStreamOpen
+		rpcSrv.OnStreamClose = srv.ObserveStreamClose
+		rpcSrv.ObserveStreamWindow = srv.ObserveStreamWindow
+		rpcSrv.ObserveStreamAcks = srv.ObserveStreamAcks
 		go func() {
 			if err := rpcSrv.Serve(lis); err != nil {
 				logger.Error("pristed: rpc listener failed", "err", err)

@@ -13,7 +13,38 @@ type Stats struct {
 	CertCache  CertCacheStats  `json:"cert_cache"`
 	Store      StoreStats      `json:"store"`
 	Transports TransportsStats `json:"transports"`
+	Streams    StreamStats     `json:"streams"`
+	Scheduler  SchedulerStats  `json:"scheduler"`
 	Runtime    RuntimeStats    `json:"runtime"`
+}
+
+// StreamStats is the /statsz streaming section: RPC step streams, SSE
+// release subscribers, and the streaming-window occupancy that the
+// unary queue gauges do not cover. WindowOccupancy is the number of
+// streamed steps currently in flight (submitted, not yet acked) across
+// all streams; PerShardWindow breaks it down by session-manager shard
+// so hot shards are visible next to their queue gauges.
+type StreamStats struct {
+	RPCOpened       int64   `json:"rpc_opened"`
+	RPCActive       int64   `json:"rpc_active"`
+	StepsStreamed   int64   `json:"steps_streamed"`
+	AckBatches      int64   `json:"ack_batches"`
+	SSESubscribers  int64   `json:"sse_subscribers"`
+	SSEDelivered    int64   `json:"sse_delivered"`
+	SSEDropped      int64   `json:"sse_dropped"`
+	WindowOccupancy int64   `json:"window_occupancy"`
+	PerShardWindow  []int64 `json:"per_shard_window"`
+}
+
+// SchedulerStats is the /statsz worker-pool scheduling section.
+// AffinityPicks counts dequeues that kept a worker on its previous
+// session's plan (warm plan + cert-cache), FIFOPicks arrival-order
+// dequeues, and Requeues sessions parked back on the run queue after
+// hitting the per-visit drain batch (the fairness cap).
+type SchedulerStats struct {
+	AffinityPicks int64 `json:"affinity_picks"`
+	FIFOPicks     int64 `json:"fifo_picks"`
+	Requeues      int64 `json:"requeues"`
 }
 
 // RuntimeStats is the /statsz Go-runtime section (the same numbers the

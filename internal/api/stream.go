@@ -1,0 +1,88 @@
+package api
+
+import "context"
+
+// Streaming step pipeline.
+//
+// A StepStream is a windowed, order-preserving pipe into one session:
+// the client fire-and-forgets true locations with Send and consumes
+// certified releases with Recv, at most `window` steps in flight
+// between the two. When the window is exhausted Send blocks
+// (backpressure) until a release is consumed — a streaming client is
+// never answered with a per-call 429. Releases arrive in exactly the
+// order the locations were sent; a stream is the session's FIFO queue
+// made visible end to end.
+//
+// Both transports satisfy the interface: the RPC client multiplexes
+// stream frames over its persistent connection, the HTTP client
+// pipelines windowed micro-batches through POST
+// /v1/sessions/{id}/stream. Push-style observation (releases without
+// driving steps) is the SSE endpoint GET /v1/sessions/{id}/stream.
+
+const (
+	// DefaultStreamWindow is the in-flight step window used when a
+	// client passes window <= 0.
+	DefaultStreamWindow = 64
+	// MaxStreamWindow bounds the client-advertised window; servers
+	// reject larger advertisements rather than silently clamping,
+	// since the client relies on its window for flow control.
+	MaxStreamWindow = 4096
+	// MaxStreamBatch bounds the locs accepted by one windowed
+	// micro-batch request on the HTTP stream ingest path.
+	MaxStreamBatch = MaxStreamWindow
+)
+
+// StepStream pumps steps into one session and yields its certified
+// releases in FIFO order. Send and Recv may be called concurrently
+// (one goroutine each); neither is safe for concurrent use with
+// itself.
+type StepStream interface {
+	// Send submits the next true location. It blocks while the
+	// stream window is full and returns the stream's terminal error
+	// once the stream is dead.
+	Send(loc int) error
+	// Recv returns the next certified release in step order. After
+	// CloseSend it returns io.EOF once every pending release has
+	// been consumed; otherwise a terminal *Error ends the stream.
+	Recv() (StepResponse, error)
+	// CloseSend ends the input side. Releases for already-sent
+	// steps still arrive; Recv drains them and then returns io.EOF.
+	CloseSend() error
+	// Close aborts the stream and releases its resources. Safe to
+	// call at any time, including after CloseSend.
+	Close() error
+}
+
+// StreamClient is the optional Client extension for streaming ingest.
+// Both shipped clients implement it.
+type StreamClient interface {
+	StreamSteps(ctx context.Context, sessionID string, window int) (StepStream, error)
+}
+
+// StreamStepRequest is the body of POST /v1/sessions/{id}/stream: one
+// windowed micro-batch of true locations, applied in order.
+type StreamStepRequest struct {
+	Locs []int `json:"locs"`
+}
+
+// StreamStepResponse answers a windowed micro-batch. Results holds
+// the certified releases, in order, for the locs that committed. If
+// the batch died early, Code/Error report the terminal failure and
+// Results covers only the prefix that committed before it.
+type StreamStepResponse struct {
+	Results []StepResponse `json:"results"`
+	Code    Code           `json:"code,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// Err returns the terminal failure carried by the response, if any.
+func (r *StreamStepResponse) Err() error {
+	if r.Code == "" && r.Error == "" {
+		return nil
+	}
+	code := r.Code
+	if code == "" {
+		code = CodeInternal
+	}
+	return &Error{Code: code, Message: r.Error}
+}

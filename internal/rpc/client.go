@@ -39,8 +39,9 @@ type clientConn struct {
 	conn net.Conn
 	bw   *bufio.Writer
 
-	mu      sync.Mutex // guards pending and writes
+	mu      sync.Mutex // guards pending/streams and writes
 	pending map[uint64]chan response
+	streams map[uint64]*clientStream
 	dead    bool
 }
 
@@ -93,22 +94,29 @@ func (c *Client) ensureConn() (*clientConn, error) {
 		conn:    conn,
 		bw:      bufio.NewWriterSize(conn, 32<<10),
 		pending: make(map[uint64]chan response),
+		streams: make(map[uint64]*clientStream),
 	}
 	c.cc = cc
 	go c.readLoop(cc)
 	return cc, nil
 }
 
-// fail marks the connection dead and fails everything in flight on it.
+// fail marks the connection dead and fails everything in flight on it,
+// open streams included.
 func (cc *clientConn) fail() {
 	cc.conn.Close()
 	cc.mu.Lock()
 	cc.dead = true
 	stale := cc.pending
 	cc.pending = nil
+	staleStreams := cc.streams
+	cc.streams = nil
 	cc.mu.Unlock()
 	for _, ch := range stale {
 		close(ch) // closed channel = connection failure
+	}
+	for _, st := range staleStreams {
+		st.terminate(api.Errf(api.CodeUnavailable, "rpc: connection lost"))
 	}
 }
 
@@ -130,9 +138,17 @@ func (c *Client) readLoop(cc *clientConn) {
 		cc.mu.Lock()
 		ch := cc.pending[reqID]
 		delete(cc.pending, reqID)
+		var st *clientStream
+		if ch == nil {
+			// Stream frames reuse one reqID for the stream's lifetime, so
+			// the entry is not consumed per frame.
+			st = cc.streams[reqID]
+		}
 		cc.mu.Unlock()
 		if ch != nil {
 			ch <- response{op: op, body: body}
+		} else if st != nil {
+			st.handleFrame(op, body)
 		}
 	}
 }

@@ -1,0 +1,278 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"priste/internal/api"
+	"priste/internal/obs"
+)
+
+// clientStream is the client half of one step stream. Flow control is
+// a token bucket of size `window`: Send takes a token, Recv returns
+// one when it consumes a release, so at most `window` steps are ever
+// in flight (sent but not consumed) and a full bucket blocks Send —
+// the client-side face of server backpressure. Because tokens come
+// back only at Recv time, the recv buffer can never overflow and the
+// connection's shared read loop never blocks on a slow stream
+// consumer.
+type clientStream struct {
+	c     *Client
+	cc    *clientConn
+	reqID uint64
+	trace uint64
+	ctx   context.Context
+
+	tokens chan struct{}
+	recv   chan api.StepResponse
+	done   chan struct{} // closed when the stream turns terminal
+
+	openPending atomic.Bool
+	openCh      chan error
+
+	mu         sync.Mutex
+	termErr    error
+	sendClosed bool
+}
+
+var _ api.StepStream = (*clientStream)(nil)
+var _ api.StreamClient = (*Client)(nil)
+
+// StreamSteps implements api.StreamClient: it opens a windowed step
+// stream into the session over the shared connection and returns once
+// the server acknowledges it.
+func (c *Client) StreamSteps(ctx context.Context, id string, window int) (api.StepStream, error) {
+	if window <= 0 {
+		window = api.DefaultStreamWindow
+	}
+	if window > api.MaxStreamWindow {
+		window = api.MaxStreamWindow
+	}
+	body, err := appendStreamOpen(nil, id, window)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	cc, err := c.ensureConn()
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.seq++
+	reqID := c.seq
+	c.mu.Unlock()
+
+	st := &clientStream{
+		c:      c,
+		cc:     cc,
+		reqID:  reqID,
+		trace:  obs.TraceFrom(ctx),
+		ctx:    ctx,
+		tokens: make(chan struct{}, window),
+		recv:   make(chan api.StepResponse, window+2),
+		done:   make(chan struct{}),
+		openCh: make(chan error, 1),
+	}
+	st.openPending.Store(true)
+	for i := 0; i < window; i++ {
+		st.tokens <- struct{}{}
+	}
+
+	// Register before writing so the open ack cannot race the read loop.
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return nil, api.Errf(api.CodeUnavailable, "rpc: connection lost")
+	}
+	cc.streams[reqID] = st
+	cc.mu.Unlock()
+	if err := c.writeRaw(cc, appendFrame(nil, opStreamOpen, reqID, st.trace, body)); err != nil {
+		return nil, err
+	}
+	select {
+	case err := <-st.openCh:
+		if err != nil {
+			st.unregister()
+			return nil, err
+		}
+		return st, nil
+	case <-st.done:
+		st.unregister()
+		return nil, st.terminal()
+	case <-ctx.Done():
+		st.unregister()
+		return nil, ctx.Err()
+	}
+}
+
+// writeRaw writes one pre-built frame on cc, tearing the connection
+// down (and failing everything on it) on a write error.
+func (c *Client) writeRaw(cc *clientConn, frame []byte) error {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return api.Errf(api.CodeUnavailable, "rpc: connection lost")
+	}
+	_, err := cc.bw.Write(frame)
+	if err == nil {
+		err = cc.bw.Flush()
+	}
+	cc.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		if c.cc == cc {
+			c.cc = nil
+		}
+		c.mu.Unlock()
+		cc.fail()
+		return fmt.Errorf("rpc: write: %w", err)
+	}
+	return nil
+}
+
+// handleFrame dispatches one stream frame. Runs on the connection's
+// read loop, so it must never block: recv is bounded by the window
+// invariant, and overflow — a server protocol violation — kills the
+// stream rather than the loop.
+func (st *clientStream) handleFrame(op byte, body []byte) {
+	switch op {
+	case opStreamOK:
+		if st.openPending.CompareAndSwap(true, false) {
+			st.openCh <- nil
+		}
+	case opStreamAcks:
+		resps, err := parseStreamAcks(body)
+		if err != nil {
+			st.terminate(err)
+			return
+		}
+		for _, r := range resps {
+			select {
+			case st.recv <- r:
+			default:
+				st.terminate(api.Errf(api.CodeInternal, "rpc: stream ack overflow"))
+				return
+			}
+		}
+	case opStreamEnd:
+		st.terminate(io.EOF)
+	case opError:
+		err := parseErrResp(body)
+		if st.openPending.CompareAndSwap(true, false) {
+			st.openCh <- err
+			return
+		}
+		st.terminate(err)
+	}
+}
+
+// terminate makes the stream terminal with err (first caller wins) and
+// removes it from the connection's stream table.
+func (st *clientStream) terminate(err error) {
+	st.mu.Lock()
+	if st.termErr == nil {
+		st.termErr = err
+		close(st.done)
+	}
+	st.mu.Unlock()
+	st.unregister()
+}
+
+func (st *clientStream) unregister() {
+	st.cc.mu.Lock()
+	if st.cc.streams != nil {
+		delete(st.cc.streams, st.reqID)
+	}
+	st.cc.mu.Unlock()
+}
+
+func (st *clientStream) terminal() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.termErr == nil {
+		return api.Errf(api.CodeUnavailable, "rpc: stream closed")
+	}
+	return st.termErr
+}
+
+// Send implements api.StepStream.
+func (st *clientStream) Send(loc int) error {
+	st.mu.Lock()
+	if st.sendClosed {
+		st.mu.Unlock()
+		return api.Errf(api.CodeInvalidArgument, "rpc: send on closed stream")
+	}
+	term := st.termErr
+	st.mu.Unlock()
+	if term != nil {
+		return term
+	}
+	select {
+	case <-st.tokens:
+	case <-st.done:
+		return st.terminal()
+	case <-st.ctx.Done():
+		return st.ctx.Err()
+	}
+	return st.c.writeRaw(st.cc, appendFrame(nil, opStreamStep, st.reqID, st.trace, appendStreamStep(nil, loc)))
+}
+
+// Recv implements api.StepStream.
+func (st *clientStream) Recv() (api.StepResponse, error) {
+	// Buffered releases outrank the terminal state: everything acked
+	// before the stream died is still delivered in order.
+	select {
+	case r := <-st.recv:
+		st.releaseToken()
+		return r, nil
+	default:
+	}
+	select {
+	case r := <-st.recv:
+		st.releaseToken()
+		return r, nil
+	case <-st.done:
+		select {
+		case r := <-st.recv:
+			st.releaseToken()
+			return r, nil
+		default:
+		}
+		return api.StepResponse{}, st.terminal()
+	case <-st.ctx.Done():
+		return api.StepResponse{}, st.ctx.Err()
+	}
+}
+
+func (st *clientStream) releaseToken() {
+	select {
+	case st.tokens <- struct{}{}:
+	default:
+	}
+}
+
+// CloseSend implements api.StepStream.
+func (st *clientStream) CloseSend() error {
+	st.mu.Lock()
+	if st.sendClosed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.sendClosed = true
+	term := st.termErr
+	st.mu.Unlock()
+	if term != nil {
+		return nil // already terminal; the server side is gone
+	}
+	return st.c.writeRaw(st.cc, appendFrame(nil, opStreamClose, st.reqID, st.trace, nil))
+}
+
+// Close implements api.StepStream.
+func (st *clientStream) Close() error {
+	_ = st.CloseSend()
+	st.terminate(api.Errf(api.CodeUnavailable, "rpc: stream closed"))
+	return nil
+}

@@ -38,6 +38,32 @@
 //	          [uniform:1][checkNanos:8]  (all BE)
 //	opCallOK: [JSON response body]
 //	opError:  [code:1][message:utf8]     — code is api.Code.Wire()
+//
+// # Streaming
+//
+// The streaming mode turns one reqID into a long-lived step pipe with
+// windowed acks; every frame of a stream carries the reqID of its
+// opStreamOpen. The client advertises a window W — the maximum number
+// of steps in flight (sent, release not yet consumed) — and the server
+// sizes its inbox accordingly: a client that exceeds its own window is
+// in protocol violation and the stream dies with opError. Within the
+// window, submission is fire-and-forget; the server batches certified
+// releases into opStreamAcks frames, strictly in submission order, so
+// per-session FIFO is preserved end to end.
+//
+//	opStreamOpen:  [window:4 BE][idLen:2 BE][sessionID:idLen]  c→s
+//	opStreamOK:    [t:4 BE]  — session's next timestamp         s→c
+//	opStreamStep:  [loc:4 BE]                                   c→s
+//	opStreamAcks:  [count:4 BE][opStepOK body × count]          s→c
+//	opStreamClose: (empty) — no more steps                      c→s
+//	opStreamEnd:   (empty) — every pending release acked        s→c
+//
+// A server that cannot enqueue a streamed step (session queue full)
+// does not fail it: it waits for in-flight steps to drain and
+// retries — backpressure propagates to the client through withheld
+// acks and, once the window fills, a blocked Send. An opError frame
+// carrying a stream's reqID is terminal for that stream (and only
+// that stream); the connection and its other streams live on.
 package rpc
 
 import (
@@ -56,6 +82,13 @@ const (
 	opStepOK byte = 3
 	opCallOK byte = 4
 	opError  byte = 5
+
+	opStreamOpen  byte = 6
+	opStreamOK    byte = 7
+	opStreamStep  byte = 8
+	opStreamAcks  byte = 9
+	opStreamClose byte = 10
+	opStreamEnd   byte = 11
 )
 
 // Control-plane methods carried by opCall. Same stability rule.
@@ -160,6 +193,62 @@ func parseStepResp(body []byte) (api.StepResponse, error) {
 		Uniform:                body[24] == 1,
 		CheckMicros:            float64(int64(binary.BigEndian.Uint64(body[25:]))) / 1e3,
 	}, nil
+}
+
+// appendStreamOpen encodes an opStreamOpen body.
+func appendStreamOpen(buf []byte, id string, window int) ([]byte, error) {
+	if len(id) > math.MaxUint16 {
+		return nil, api.Errf(api.CodeInvalidArgument, "rpc: session id too long")
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(window)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(id)))
+	return append(buf, id...), nil
+}
+
+// parseStreamOpen decodes an opStreamOpen body.
+func parseStreamOpen(body []byte) (id string, window int, err error) {
+	if len(body) < 6 {
+		return "", 0, fmt.Errorf("rpc: short stream open")
+	}
+	window = int(int32(binary.BigEndian.Uint32(body)))
+	n := int(binary.BigEndian.Uint16(body[4:]))
+	if len(body) != 6+n {
+		return "", 0, fmt.Errorf("rpc: stream open length %d does not match id length %d", len(body), n)
+	}
+	return string(body[6:]), window, nil
+}
+
+// appendStreamStep encodes an opStreamStep body.
+func appendStreamStep(buf []byte, loc int) []byte {
+	return binary.BigEndian.AppendUint32(buf, uint32(int32(loc)))
+}
+
+// parseStreamStep decodes an opStreamStep body.
+func parseStreamStep(body []byte) (int, error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("rpc: stream step length %d, want 4", len(body))
+	}
+	return int(int32(binary.BigEndian.Uint32(body))), nil
+}
+
+// parseStreamAcks decodes an opStreamAcks body into its releases.
+func parseStreamAcks(body []byte) ([]api.StepResponse, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("rpc: short stream ack frame")
+	}
+	n := int(binary.BigEndian.Uint32(body))
+	if n < 0 || len(body) != 4+n*stepRespLen {
+		return nil, fmt.Errorf("rpc: stream ack frame length %d does not match count %d", len(body), n)
+	}
+	out := make([]api.StepResponse, n)
+	for i := range out {
+		resp, err := parseStepResp(body[4+i*stepRespLen : 4+(i+1)*stepRespLen])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
 }
 
 // appendErrResp encodes an opError body.

@@ -3,8 +3,10 @@ package rpc
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -27,8 +29,22 @@ type Server struct {
 	Observe func(time.Duration)
 	// ObserveStep, when set before Serve, receives the end-to-end, frame
 	// decode and response encode times of every successfully served step
-	// request (see server.Server.ObserveRPCStep).
+	// request (see server.Server.ObserveRPCStep). Streamed steps are
+	// reported too, measured from submission to ack-batch append.
 	ObserveStep func(total, decode, encode time.Duration)
+	// OnStreamOpen / OnStreamClose, when set before Serve, bracket the
+	// lifetime of every step stream (server.Server wires them to the
+	// priste_stream_* gauges).
+	OnStreamOpen  func(sessionID string)
+	OnStreamClose func(sessionID string)
+	// ObserveStreamWindow, when set before Serve, receives window-
+	// occupancy deltas: +1 when a streamed step is submitted to the
+	// service, -1 when its release is acked (or the stream dies). The
+	// running sum is the stream's in-flight depth.
+	ObserveStreamWindow func(sessionID string, delta int)
+	// ObserveStreamAcks, when set before Serve, receives the size of
+	// every flushed ack batch.
+	ObserveStreamAcks func(n int)
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -152,6 +168,10 @@ func (s *Server) handleConn(conn net.Conn) {
 	w := &connWriter{conn: conn}
 	br := bufio.NewReaderSize(conn, 32<<10)
 	stepper, hasAsync := s.svc.(api.AsyncStepper)
+	// Open streams on this connection, keyed by the reqID of their
+	// opStreamOpen. The map and every inbox push belong to this reader
+	// goroutine; pumps signal back only through the dead flag.
+	streams := make(map[uint64]*serverStream)
 	for {
 		op, reqID, trace, body, err := readFrame(br)
 		if err != nil {
@@ -228,6 +248,79 @@ func (s *Server) handleConn(conn net.Conn) {
 				w.send(opCallOK, reqID, trace, resp)
 				s.observe(start)
 			}(reqID, trace, start)
+		case opStreamOpen:
+			id, window, perr := parseStreamOpen(body)
+			if perr != nil {
+				s.fail(w, reqID, trace, start, perr)
+				continue
+			}
+			if window <= 0 {
+				window = api.DefaultStreamWindow
+			}
+			if window > api.MaxStreamWindow {
+				s.fail(w, reqID, trace, start, api.Errf(api.CodeInvalidArgument, fmt.Sprintf("rpc: stream window %d exceeds the maximum %d", window, api.MaxStreamWindow)))
+				continue
+			}
+			if _, ok := streams[reqID]; ok {
+				s.fail(w, reqID, trace, start, api.Errf(api.CodeInvalidArgument, "rpc: stream id already open"))
+				continue
+			}
+			info, err := s.svc.GetSession(id)
+			if err != nil {
+				s.fail(w, reqID, trace, start, err)
+				continue
+			}
+			st := &serverStream{id: id, window: window, inbox: make(chan int, window)}
+			streams[reqID] = st
+			if s.OnStreamOpen != nil {
+				s.OnStreamOpen(id)
+			}
+			pumpStepper := stepper
+			if !hasAsync {
+				pumpStepper = syncStepper{svc: s.svc}
+			}
+			s.wg.Add(1)
+			go s.pumpStream(ctx, w, st, pumpStepper, reqID, trace)
+			var tbuf [4]byte
+			binary.BigEndian.PutUint32(tbuf[:], uint32(int32(info.T)))
+			w.send(opStreamOK, reqID, trace, tbuf[:])
+			s.observe(start)
+		case opStreamStep:
+			st, ok := streams[reqID]
+			if !ok {
+				s.fail(w, reqID, trace, start, api.Errf(api.CodeNotFound, "rpc: unknown stream"))
+				continue
+			}
+			if st.dead.Load() || st.inboxClosed {
+				continue // stream already terminal; in-flight frames are expected
+			}
+			loc, perr := parseStreamStep(body)
+			if perr != nil {
+				st.kill()
+				s.fail(w, reqID, trace, start, perr)
+				continue
+			}
+			select {
+			case st.inbox <- loc:
+			default:
+				// A compliant client never has more than `window` unacked
+				// steps in flight, so a full inbox is a protocol violation;
+				// killing the stream (not the connection) keeps the reader
+				// loop non-blocking.
+				st.kill()
+				s.fail(w, reqID, trace, start, api.Errf(api.CodeInvalidArgument, "rpc: stream window exceeded"))
+			}
+		case opStreamClose:
+			st, ok := streams[reqID]
+			if !ok {
+				s.fail(w, reqID, trace, start, api.Errf(api.CodeNotFound, "rpc: unknown stream"))
+				continue
+			}
+			if !st.dead.Load() && !st.inboxClosed {
+				st.inboxClosed = true
+				close(st.inbox)
+			}
+			s.observe(start)
 		default:
 			s.fail(w, reqID, trace, start, api.Errf(api.CodeInvalidArgument, "rpc: unknown op"))
 		}

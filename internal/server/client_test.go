@@ -42,6 +42,10 @@ func serveRPC(t *testing.T, srv *Server) (*rpc.Server, *rpc.Client) {
 	rpcSrv := rpc.NewServer(srv)
 	rpcSrv.Observe = srv.ObserveRPC
 	rpcSrv.ObserveStep = srv.ObserveRPCStep
+	rpcSrv.OnStreamOpen = srv.ObserveStreamOpen
+	rpcSrv.OnStreamClose = srv.ObserveStreamClose
+	rpcSrv.ObserveStreamWindow = srv.ObserveStreamWindow
+	rpcSrv.ObserveStreamAcks = srv.ObserveStreamAcks
 	go func() { _ = rpcSrv.Serve(lis) }()
 	t.Cleanup(func() { rpcSrv.Close() })
 	client, err := rpc.Dial(lis.Addr().String())

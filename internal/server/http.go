@@ -64,6 +64,8 @@ const (
 //	GET    /v1/sessions/{id}        session state
 //	DELETE /v1/sessions/{id}        close a session
 //	POST   /v1/sessions/{id}/step   release one location
+//	POST   /v1/sessions/{id}/stream windowed micro-batch stream ingest
+//	GET    /v1/sessions/{id}/stream SSE push stream of certified releases
 //	GET    /v1/sessions/{id}/export export a session for migration
 //	POST   /v1/sessions/import      import a migrated session
 //	POST   /v1/step                 batch multi-user ingest
@@ -84,6 +86,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	mux.HandleFunc("POST /v1/sessions/{id}/stream", s.handleStreamStep)
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleSessionStream)
 	mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
 	mux.HandleFunc("POST /v1/sessions/import", s.handleImport)
 	mux.HandleFunc("POST /v1/step", s.handleBatch)

@@ -40,6 +40,11 @@ type Manager struct {
 	// tombstone hook. CloseAll (shutdown) deliberately does not call it:
 	// sessions closed by shutdown must survive the restart.
 	onRemove func(id string)
+	// onClosed, when set, runs after a session leaves the registry for
+	// any reason, shutdown included — the streaming layer's hook for
+	// terminating the session's release subscribers. Unlike onRemove it
+	// carries no durability semantics.
+	onClosed func(id string)
 }
 
 func newManager(max int, ttl time.Duration, metrics *Metrics) *Manager {
@@ -50,15 +55,19 @@ func newManager(max int, ttl time.Duration, metrics *Metrics) *Manager {
 	return m
 }
 
-func (m *Manager) shardFor(id string) *shard {
-	// Inline FNV-1a: a hash.Hash32 allocation per lookup is measurable
-	// on the step path.
+// shardIndex maps a session id onto its shard slot. Inline FNV-1a: a
+// hash.Hash32 allocation per lookup is measurable on the step path.
+func shardIndex(id string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h ^= uint32(id[i])
 		h *= 16777619
 	}
-	return &m.shards[h%numShards]
+	return int(h % numShards)
+}
+
+func (m *Manager) shardFor(id string) *shard {
+	return &m.shards[shardIndex(id)]
 }
 
 // Get returns the live session with the given id.
@@ -117,6 +126,9 @@ func (m *Manager) Remove(id string) bool {
 	s.close()
 	if m.onRemove != nil {
 		m.onRemove(id)
+	}
+	if m.onClosed != nil {
+		m.onClosed(id)
 	}
 	return true
 }
@@ -247,6 +259,9 @@ func (m *Manager) CloseAll() {
 		for _, s := range sessions {
 			m.metrics.sessionsLive.Add(-1)
 			s.close()
+			if m.onClosed != nil {
+				m.onClosed(s.id)
+			}
 		}
 	}
 }

@@ -98,6 +98,20 @@ type Metrics struct {
 	// be arbitrary.
 	walFsync   *obs.Histogram
 	transports [numTransports]transportMetrics
+
+	// Streaming pipeline (RPC step streams + SSE release streams).
+	streamsOpened  *obs.Counter
+	streamsActive  *obs.Gauge
+	streamSteps    *obs.Counter
+	streamAcks     *obs.Counter
+	sseSubscribers *obs.Gauge
+	sseDelivered   *obs.Counter
+	sseDropped     *obs.Counter
+
+	// Batch-aware scheduler.
+	schedAffinity *obs.Counter
+	schedFIFO     *obs.Counter
+	schedRequeues *obs.Counter
 }
 
 func newMetrics() *Metrics {
@@ -121,6 +135,18 @@ func newMetrics() *Metrics {
 	m.storeReplayFailures = reg.Counter("priste_store_replay_failures_total", "Persisted sessions that failed replay and were skipped.")
 	m.storeReplayNanos = &obs.Counter{} // internal: total replay time, reported via /statsz only
 	m.storeWarmLoadFailed = reg.Counter("priste_store_warm_load_failures_total", "Persisted cert-cache files that could not be read at startup.")
+
+	m.streamsOpened = reg.Counter("priste_stream_opened_total", "RPC step streams opened.")
+	m.streamsActive = reg.Gauge("priste_stream_active", "RPC step streams currently open.")
+	m.streamSteps = reg.Counter("priste_stream_steps_total", "Steps submitted through step streams.")
+	m.streamAcks = reg.Counter("priste_stream_ack_batches_total", "Ack batches flushed on step streams.")
+	m.sseSubscribers = reg.Gauge("priste_sse_subscribers", "Live SSE release-stream subscribers.")
+	m.sseDelivered = reg.Counter("priste_sse_delivered_total", "Releases delivered to SSE subscribers.")
+	m.sseDropped = reg.Counter("priste_sse_dropped_total", "SSE subscribers dropped for lagging behind the commit stream.")
+
+	m.schedAffinity = reg.Counter("priste_sched_affinity_picks_total", "Run-queue dequeues that kept a worker on its previous plan.")
+	m.schedFIFO = reg.Counter("priste_sched_fifo_picks_total", "Run-queue dequeues in arrival order.")
+	m.schedRequeues = reg.Counter("priste_sched_requeues_total", "Sessions parked back on the run queue by the drain-batch fairness cap.")
 
 	m.walFsync = reg.Histogram("priste_wal_fsync_seconds", "WAL append fsync latency (all transports batched).")
 	for i := range m.transports {
@@ -261,6 +287,20 @@ func (m *Metrics) Snapshot() api.Stats {
 			HTTP:  m.transportStats(transportHTTP),
 			RPC:   m.transportStats(transportRPC),
 			Local: m.transportStats(transportLocal),
+		},
+		Streams: api.StreamStats{
+			RPCOpened:      m.streamsOpened.Load(),
+			RPCActive:      m.streamsActive.Load(),
+			StepsStreamed:  m.streamSteps.Load(),
+			AckBatches:     m.streamAcks.Load(),
+			SSESubscribers: m.sseSubscribers.Load(),
+			SSEDelivered:   m.sseDelivered.Load(),
+			SSEDropped:     m.sseDropped.Load(),
+		},
+		Scheduler: api.SchedulerStats{
+			AffinityPicks: m.schedAffinity.Load(),
+			FIFOPicks:     m.schedFIFO.Load(),
+			Requeues:      m.schedRequeues.Load(),
 		},
 		Runtime: api.RuntimeStats{
 			Goroutines:     runtime.NumGoroutine(),

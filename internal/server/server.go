@@ -58,10 +58,17 @@ type Server struct {
 	mgr      *Manager
 	registry *PlanRegistry
 	pool     *pool
+	hub      *streamHub
 	metrics  *Metrics
 	logger   *slog.Logger
 	// start anchors the uptime reported by Health and Stats.
 	start time.Time
+
+	// streamWindows tracks in-flight (submitted, not yet acknowledged)
+	// streamed steps per session shard — the RPC stream window occupancy
+	// surfaced in /statsz. Sharded with the session registry so the
+	// per-shard breakdown lines up with where the sessions live.
+	streamWindows [numShards]atomic.Int64
 
 	// worldTag canonically identifies the world model; it scopes every
 	// persisted identity (session journals, warm cache keys) so state
@@ -146,7 +153,8 @@ func New(cfg Config) (*Server, error) {
 		pi:          markov.Uniform(g.States()),
 		mgr:         newManager(cfg.MaxSessions, cfg.SessionTTL, metrics),
 		registry:    newPlanRegistry(cache, worldTag),
-		pool:        newPool(workers, cfg.MaxSessions, metrics, cfg.Logger, cfg.SlowStep),
+		pool:        newPool(workers, cfg.SchedAffinity, cfg.DrainBatch, metrics, cfg.Logger, cfg.SlowStep),
+		hub:         newStreamHub(cfg.StreamBuffer, metrics),
 		metrics:     metrics,
 		logger:      cfg.Logger,
 		start:       time.Now(),
@@ -154,6 +162,17 @@ func New(cfg Config) (*Server, error) {
 		durable:     !isNull,
 		janitorQuit: make(chan struct{}),
 	}
+	// Every committed release fans out to the session's push subscribers
+	// (the SSE release stream) regardless of which transport submitted
+	// the step. The worker publishes after acknowledgement, still inside
+	// the session's single-writer context, so per-session publish order
+	// is exactly commit order.
+	s.pool.onRelease = func(sess *Session, res core.StepResult) {
+		s.hub.publish(sess.id, toStepResponse("", res))
+	}
+	// Any registry exit — delete, eviction, TTL sweep, shutdown —
+	// terminates the session's release subscribers.
+	s.mgr.onClosed = s.hub.closeSession
 	s.registerExternalMetrics()
 	if s.durable {
 		s.pool.onStep = s.persistStep
@@ -468,6 +487,12 @@ func (s *Server) Stats() api.Stats {
 			st.CertCache.HitRate = float64(cs.Hits) / float64(total)
 		}
 	}
+	st.Streams.PerShardWindow = make([]int64, numShards)
+	for i := range s.streamWindows {
+		n := s.streamWindows[i].Load()
+		st.Streams.PerShardWindow[i] = n
+		st.Streams.WindowOccupancy += n
+	}
 	st.Store = api.StoreStats{
 		Stats:           s.cfg.Store.Stats(),
 		AppendErrors:    s.metrics.storeAppendErrors.Load(),
@@ -768,6 +793,63 @@ func (s *Server) StepAsync(ctx context.Context, id string, loc int) (<-chan api.
 	return j.apiDone, nil
 }
 
+// stepWindowed serves one streamed micro-batch on a session: every loc
+// is enqueued in order, with pump-style backpressure — a full queue
+// settles this batch's own head-of-line release (freeing its queue
+// slot) instead of surfacing a 429 — and the certified releases are
+// collected in commit order. On a terminal error the releases committed
+// before it are returned alongside it and the remaining locs are never
+// submitted, so the caller can report exactly how far the stream got.
+func (s *Server) stepWindowed(ctx context.Context, id string, locs []int) ([]api.StepResponse, error) {
+	results := make([]api.StepResponse, 0, len(locs))
+	var pending []<-chan api.StepOutcome
+	settle := func(ch <-chan api.StepOutcome) error {
+		select {
+		case out := <-ch:
+			if out.Err != nil {
+				return out.Err
+			}
+			results = append(results, out.Resp)
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for _, loc := range locs {
+		for {
+			ch, err := s.StepAsync(ctx, id, loc)
+			if err == nil {
+				pending = append(pending, ch)
+				break
+			}
+			if api.CodeOf(err) != api.CodeResourceExhausted {
+				return results, err
+			}
+			if len(pending) > 0 {
+				if err := settle(pending[0]); err != nil {
+					return results, err
+				}
+				pending = pending[1:]
+				continue
+			}
+			// Queue full with nothing of ours in flight: another writer
+			// owns the slots. Yield briefly rather than spin.
+			select {
+			case <-ctx.Done():
+				return results, ctx.Err()
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}
+	for len(pending) > 0 {
+		if err := settle(pending[0]); err != nil {
+			return results, err
+		}
+		pending = pending[1:]
+	}
+	return results, nil
+}
+
 // StepBatch implements api.Service: every item is enqueued in slice
 // order (so items for the same session preserve their relative order
 // and different sessions step in parallel), then the certified releases
@@ -965,6 +1047,34 @@ func (s *Server) ObserveRPC(d time.Duration) {
 // RPC server's ObserveStep hook feeds it.
 func (s *Server) ObserveRPCStep(total, decode, encode time.Duration) {
 	s.metrics.observeServedStep(transportRPC, total, decode, encode)
+}
+
+// ObserveStreamOpen records an RPC step stream opening on a session;
+// the RPC server's OnStreamOpen hook feeds it.
+func (s *Server) ObserveStreamOpen(id string) {
+	s.metrics.streamsOpened.Add(1)
+	s.metrics.streamsActive.Add(1)
+}
+
+// ObserveStreamClose records an RPC step stream ending (gracefully or
+// not); the RPC server's OnStreamClose hook feeds it.
+func (s *Server) ObserveStreamClose(id string) {
+	s.metrics.streamsActive.Add(-1)
+}
+
+// ObserveStreamWindow adjusts the in-flight streamed-step count for a
+// session's shard: +1 when the stream pump submits a step, -1 when its
+// release (or failure) is settled into an ack batch. The RPC server's
+// ObserveStreamWindow hook feeds it; /statsz reports the occupancy.
+func (s *Server) ObserveStreamWindow(id string, delta int) {
+	s.streamWindows[shardIndex(id)].Add(int64(delta))
+}
+
+// ObserveStreamAcks records one flushed ack batch carrying n streamed
+// step releases; the RPC server's ObserveStreamAcks hook feeds it.
+func (s *Server) ObserveStreamAcks(n int) {
+	s.metrics.streamSteps.Add(int64(n))
+	s.metrics.streamAcks.Add(1)
 }
 
 // MetricsHandler returns the Prometheus-text /metricsz endpoint.

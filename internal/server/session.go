@@ -178,6 +178,21 @@ func (s *Session) pop() (stepJob, bool) {
 	return j, true
 }
 
+// park decides the session's fate when a worker hits the drain-batch
+// fairness cap: with work still queued the session keeps its scheduled
+// token and reports true (the caller re-queues it); otherwise the token
+// is released exactly as pop's empty case would have. Called only by
+// the worker holding the token.
+func (s *Session) park() (requeue bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 || s.closed {
+		s.scheduled = false
+		return false
+	}
+	return true
+}
+
 // close marks the session dead and fails every pending job. Queue
 // ownership is serialised by mu, so each job receives exactly one
 // outcome: either here or from the worker that popped it earlier.

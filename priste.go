@@ -392,6 +392,13 @@ type (
 	// payload of the export/import endpoints that hand a session from
 	// one pristed instance to another.
 	SessionExport = api.SessionExport
+	// StepStream is a windowed, order-preserving step pipe into one
+	// session: fire-and-forget Send, FIFO Recv of certified releases,
+	// backpressure when the in-flight window is exhausted.
+	StepStream = api.StepStream
+	// StreamClient is the client extension for streaming ingest; both
+	// the HTTP ServerClient and the binary RPCClient implement it.
+	StreamClient = api.StreamClient
 )
 
 // RPC transport: a length-prefixed binary frame protocol over TCP with
@@ -426,6 +433,10 @@ func NewRPCServer(srv *Server) *RPCServer {
 	rs := rpc.NewServer(srv)
 	rs.Observe = srv.ObserveRPC
 	rs.ObserveStep = srv.ObserveRPCStep
+	rs.OnStreamOpen = srv.ObserveStreamOpen
+	rs.OnStreamClose = srv.ObserveStreamClose
+	rs.ObserveStreamWindow = srv.ObserveStreamWindow
+	rs.ObserveStreamAcks = srv.ObserveStreamAcks
 	return rs
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_PR7.json] [-benchtime 1x] \
+//	go run ./cmd/benchjson [-out BENCH_PR8.json] [-benchtime 1x] \
 //	    [-spec "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan|EngineStepCeiling"]
 //
 // Each -spec entry is package=benchRegexp, optionally suffixed
@@ -35,6 +35,25 @@
 // (served/ceiling — 1.0 means the transport adds no overhead), so the
 // serving-overhead gap each PR is chasing is a single committed number
 // per transport.
+//
+// When the run includes the kernel-comparison benchmarks (BenchmarkCommit
+// over the chain=/kernel= grid, BenchmarkShadowCheck), benchjson derives
+// a "kernels" section pairing each adaptive path against its in-run
+// reference — adaptive dense vs the naive oracle kernels, banded-dense
+// vs CSR over the truncated chain, float32 shadow vs exact check — plus
+// the shadow path's engine-level fallback rate.
+//
+// Regression mode compares two committed documents instead of running
+// anything:
+//
+//	go run ./cmd/benchjson -compare [-threshold 0.15] OLD.json NEW.json
+//
+// Every benchmark present in both documents with a throughput metric
+// (steps/sec or commits/sec) is compared; NEW falling more than
+// -threshold below OLD on any of them fails the run (exit 1) with a
+// per-benchmark table on stderr. CI runs it against the committed
+// baseline with a generous threshold: runner hardware varies run to
+// run, so only a large, consistent drop should fail a build.
 package main
 
 import (
@@ -91,6 +110,30 @@ type ServingGap struct {
 	OverheadMicrosPerStep float64 `json:"overhead_us_per_step"`
 }
 
+// KernelComparison pairs one adaptive kernel path against its in-run
+// reference: Speedup is candidate/baseline for rate units (…/sec) and
+// baseline/candidate for cost units (ns/op), so >1 always means the
+// adaptive path won.
+type KernelComparison struct {
+	Name           string  `json:"name"`
+	Baseline       string  `json:"baseline"`
+	Candidate      string  `json:"candidate"`
+	Unit           string  `json:"unit"`
+	BaselineValue  float64 `json:"baseline_value"`
+	CandidateValue float64 `json:"candidate_value"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// KernelSection is the derived kernel-dispatch summary.
+type KernelSection struct {
+	Comparisons []KernelComparison `json:"comparisons"`
+	// ShadowFallbackRate is the fraction of shadow checks the shadow
+	// path itself could not serve during BenchmarkShadowCheck (warm
+	// operators: expected 0; the qp-margin fallback is reported by the
+	// serving layer's shadow_fallbacks counter instead).
+	ShadowFallbackRate float64 `json:"shadow_fallback_rate"`
+}
+
 // Doc is the output document.
 type Doc struct {
 	GeneratedAt string           `json:"generated_at"`
@@ -100,14 +143,25 @@ type Doc struct {
 	Results     []Result         `json:"results"`
 	Stages      []StageBreakdown `json:"stages,omitempty"`
 	ServingGap  []ServingGap     `json:"serving_gap,omitempty"`
+	Kernels     *KernelSection   `json:"kernels,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output file")
+	out := flag.String("out", "BENCH_PR8.json", "output file")
 	benchtime := flag.String("benchtime", "", "passed to go test -benchtime; empty = default")
 	spec := flag.String("spec", "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan|EngineStepCeiling",
 		"comma-separated package=benchRegexp entries")
+	compare := flag.Bool("compare", false, "compare two committed documents (OLD.json NEW.json args) instead of running benchmarks; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.15, "with -compare: maximum tolerated fractional throughput drop before failing")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two args: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	doc := Doc{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -137,6 +191,7 @@ func main() {
 	}
 	doc.Stages = stageBreakdowns(doc.Results)
 	doc.ServingGap = servingGaps(doc.Results)
+	doc.Kernels = kernelSection(doc.Results)
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -214,6 +269,134 @@ func servingGaps(results []Result) []ServingGap {
 		})
 	}
 	return out
+}
+
+// kernelSection derives the adaptive-vs-reference comparisons from the
+// run's results. Nil when none of the paired benchmarks ran.
+func kernelSection(results []Result) *KernelSection {
+	metric := func(name, unit string) (float64, bool) {
+		for _, r := range results {
+			if r.Name == name {
+				v, ok := r.Metrics[unit]
+				return v, ok
+			}
+		}
+		return 0, false
+	}
+	// (name, baseline bench, candidate bench, unit); rate units score
+	// candidate/baseline, cost units baseline/candidate.
+	pairs := [][4]string{
+		{"adaptive_dense_vs_oracle_commit_m400",
+			"BenchmarkCommit/chain=gauss/kernel=oracle/m400",
+			"BenchmarkCommit/chain=gauss/kernel=dense/m400", "commits/sec"},
+		{"banded_dense_vs_csr_commit_m400",
+			"BenchmarkCommit/chain=trunc/kernel=sparse/m400",
+			"BenchmarkCommit/chain=trunc/kernel=dense/m400", "commits/sec"},
+		{"shadow_vs_exact_check_m400",
+			"BenchmarkShadowCheck/path=exact/m400",
+			"BenchmarkShadowCheck/path=shadow/m400", "ns/op"},
+		{"shadow_vs_exact_check_m900",
+			"BenchmarkShadowCheck/path=exact/m900",
+			"BenchmarkShadowCheck/path=shadow/m900", "ns/op"},
+		{"blocked_vs_naive_mul_m400",
+			"BenchmarkMulNaive400",
+			"BenchmarkMulBlocked400", "ns/op"},
+	}
+	sec := &KernelSection{}
+	for _, p := range pairs {
+		base, okB := metric(p[1], p[3])
+		cand, okC := metric(p[2], p[3])
+		if !okB || !okC || base <= 0 || cand <= 0 {
+			continue
+		}
+		speedup := cand / base
+		if strings.HasSuffix(p[3], "/op") {
+			speedup = base / cand
+		}
+		sec.Comparisons = append(sec.Comparisons, KernelComparison{
+			Name: p[0], Baseline: p[1], Candidate: p[2], Unit: p[3],
+			BaselineValue: base, CandidateValue: cand, Speedup: speedup,
+		})
+	}
+	for _, r := range results {
+		if fr, ok := r.Metrics["fallback-rate"]; ok && fr > sec.ShadowFallbackRate {
+			sec.ShadowFallbackRate = fr
+		}
+	}
+	if len(sec.Comparisons) == 0 {
+		return nil
+	}
+	return sec
+}
+
+// throughputUnits are the metrics the -compare mode guards. Cost metrics
+// (ns/op, B/op) are deliberately excluded: they swing with benchtime and
+// iteration-count warm-up far more than the derived rates do.
+var throughputUnits = []string{"steps/sec", "commits/sec"}
+
+// runCompare loads two documents and fails (exit code 1) when NEW falls
+// more than threshold below OLD on any shared throughput metric.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	load := func(path string) (map[string]map[string]float64, error) {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var d Doc
+		if err := json.Unmarshal(buf, &d); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		byName := make(map[string]map[string]float64, len(d.Results))
+		for _, r := range d.Results {
+			byName[r.Name] = r.Metrics
+		}
+		return byName, nil
+	}
+	oldBy, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newBy, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	compared, regressions := 0, 0
+	for name, oldMetrics := range oldBy {
+		newMetrics, ok := newBy[name]
+		if !ok {
+			continue // renamed/removed benchmarks are not regressions
+		}
+		for _, unit := range throughputUnits {
+			ov, okO := oldMetrics[unit]
+			nv, okN := newMetrics[unit]
+			if !okO || !okN || ov <= 0 {
+				continue
+			}
+			compared++
+			change := nv/ov - 1
+			status := "ok"
+			if change < -threshold {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(os.Stderr, "%-60s %12s %14.2f -> %14.2f  %+6.1f%%  %s\n",
+				name, unit, ov, nv, change*100, status)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no shared throughput metrics to compare")
+		return 2
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d throughput metrics regressed more than %.0f%%\n",
+			regressions, compared, threshold*100)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d throughput metrics within %.0f%% of baseline\n",
+		compared, threshold*100)
+	return 0
 }
 
 // runPackage executes the package's benchmarks and parses the output.

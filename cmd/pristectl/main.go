@@ -23,7 +23,8 @@
 //	list [-limit N] [-cursor C]
 //	export ID              write the session's migratable state to stdout
 //	import                 read an exported session from stdin and register it
-//	stats [-stages]        service counters (-stages: per-transport stage table)
+//	stats [-stages|-kernels]  service counters (-stages: per-transport stage
+//	                       table; -kernels: kernel/shadow dispatch table)
 //	health                 liveness probe
 //
 // Every command prints its response as JSON on stdout, so a migration is
@@ -200,10 +201,31 @@ func runCreate(ctx context.Context, client api.Client, args []string) {
 func runStats(ctx context.Context, client api.Client, args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	stages := fs.Bool("stages", false, "render the per-transport step-stage breakdown as a table instead of JSON")
+	kernels := fs.Bool("kernels", false, "render the compiled-kernel and shadow-check summary as a table instead of JSON")
 	_ = fs.Parse(args)
 	st, err := client.Stats(ctx)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *kernels {
+		p := st.Plans
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "METRIC\tVALUE")
+		fmt.Fprintf(tw, "dense_kernels\t%d\n", p.DenseKernels)
+		fmt.Fprintf(tw, "sparse_kernels\t%d\n", p.SparseKernels)
+		fmt.Fprintf(tw, "kernel_density\t%.4f\n", p.KernelDensity)
+		fmt.Fprintf(tw, "blocked_products\t%d\n", p.BlockedKernels)
+		fmt.Fprintf(tw, "banded_products\t%d\n", p.BandedKernels)
+		fmt.Fprintf(tw, "shadow_checks\t%d\n", p.ShadowChecks)
+		fmt.Fprintf(tw, "shadow_fallbacks\t%d\n", p.ShadowFallbacks)
+		if p.ShadowChecks > 0 {
+			fmt.Fprintf(tw, "shadow_decided_rate\t%.4f\n",
+				1-float64(p.ShadowFallbacks)/float64(p.ShadowChecks))
+		}
+		if err := tw.Flush(); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 	if !*stages {
 		printJSON(st)

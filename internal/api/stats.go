@@ -104,6 +104,18 @@ type PlanStats struct {
 	SparseKernels int64   `json:"sparse_kernels"`
 	DenseKernels  int64   `json:"dense_kernels"`
 	KernelDensity float64 `json:"kernel_density"`
+	// BlockedKernels and BandedKernels count operator products the
+	// adaptive dense dispatch executed through the blocked
+	// register-tiled and banded kernels across retained plans (dispatch
+	// events, not compiled kernels).
+	BlockedKernels int64 `json:"blocked_kernels"`
+	BandedKernels  int64 `json:"banded_kernels"`
+	// ShadowChecks counts candidate checks attempted through the
+	// float32 shadow path; ShadowFallbacks the subset whose qp margins
+	// could not decide and were recomputed in exact float64. Zero when
+	// the shadow path is disabled.
+	ShadowChecks    int64 `json:"shadow_checks"`
+	ShadowFallbacks int64 `json:"shadow_fallbacks"`
 }
 
 // CertCacheStats is the /statsz certified-release cache section. HitRate

@@ -53,6 +53,15 @@ type Config struct {
 	// paths are bit-for-bit equivalent, so this is purely a performance
 	// knob (and a regression-test hook).
 	Kernel world.KernelMode
+	// Shadow enables the float32 shadow check path: candidate checks run
+	// against float32 copies of the quantifier operators (float64
+	// accumulation) and the qp conditions are decided directly whenever
+	// the solver's margin exceeds the certified shadow error bound
+	// (world.ShadowEta); ambiguous margins fall back to the exact float64
+	// check. Commits always run exact float64 and shadow verdicts are
+	// never stored in the certified-release cache, so the released
+	// observation sequence is identical to the unshadowed one.
+	Shadow bool
 }
 
 func (c Config) validate() error {
@@ -278,6 +287,13 @@ func (f *Framework) Step(trueLoc int) (StepResult, error) {
 // containing Unknown are never stored — they encode an expired time
 // budget, not a property of the release — so with no QP deadline a
 // cache-backed run is decision-for-decision identical to an uncached one.
+//
+// With Config.Shadow, a cache miss first tries the float32 shadow check:
+// the quantifier's shadow forward pass plus qp.CheckReleaseShadow, which
+// accepts or rejects only when the solver margin exceeds the certified
+// error bound. A decided shadow verdict is used directly but never
+// cached (the cache stores exact verdicts only); an ambiguous one falls
+// through to the exact float64 check below.
 func (f *Framework) checkAll(res *StepResult, t int, alphaBits uint64, obs int, col mat.Vector, opts qp.ReleaseOptions) (ok, conservative bool, dur time.Duration, err error) {
 	start := time.Now()
 	defer func() { dur = time.Since(start) }()
@@ -302,10 +318,27 @@ func (f *Framework) checkAll(res *StepResult, t int, alphaBits uint64, obs int, 
 			}
 			res.CertCacheMisses++
 		}
-		chk, err := q.Check(col)
-		if err != nil {
-			return false, false, 0, fmt.Errorf("core: quantifier %d: %w", i, err)
+		if f.plan.cfg.Shadow {
+			if shadowChk, okS := q.ShadowCheck(col); okS {
+				f.plan.shadowChecks.Add(1)
+				shadowChk.Epsilon = f.plan.cfg.Epsilon
+				dec, decided, err := qp.CheckReleaseShadow(shadowChk, world.ShadowEta, opts)
+				if err != nil {
+					return false, false, 0, fmt.Errorf("core: shadow release check %d: %w", i, err)
+				}
+				if decided {
+					if !dec.OK {
+						return false, dec.Conservative, 0, nil
+					}
+					continue
+				}
+				f.plan.shadowFallbacks.Add(1)
+			}
 		}
+		// Emission columns come from validated sources (the mechanisms
+		// validate at matrix build; the uniform column is constructed by
+		// the plan), so the trusted sweep-free entry point applies.
+		chk := q.CheckTrusted(col)
 		chk.Epsilon = f.plan.cfg.Epsilon
 		dec, err := qp.CheckRelease(chk, opts)
 		if err != nil {
@@ -325,10 +358,8 @@ func (f *Framework) checkAll(res *StepResult, t int, alphaBits uint64, obs int, 
 // with its (alphaBits, obs) release pair for the history fingerprint) and
 // the mechanism state.
 func (f *Framework) commit(t, obs int, alphaBits uint64, col mat.Vector) error {
-	for i, q := range f.quants {
-		if err := q.CommitTagged(col, alphaBits, obs); err != nil {
-			return fmt.Errorf("core: commit quantifier %d: %w", i, err)
-		}
+	for _, q := range f.quants {
+		q.CommitTaggedTrusted(col, alphaBits, obs)
 	}
 	if err := f.mech.Observe(t, obs, col); err != nil {
 		return fmt.Errorf("core: mechanism Observe: %w", err)

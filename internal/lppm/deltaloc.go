@@ -166,6 +166,9 @@ func (d *DeltaLocationSet) Emission(alpha float64) (*mat.Matrix, error) {
 	for i := 0; i < m; i++ {
 		copy(e.Row(i), kernel(d.surrogate(i)))
 	}
+	if err := ValidateEmission(e); err != nil {
+		return nil, err
+	}
 	d.em = e
 	d.emAlpha = alpha
 	return e, nil

@@ -38,7 +38,11 @@ type Perturber interface {
 	// Emission returns the row-stochastic emission matrix in effect at
 	// the current timestamp for privacy budget alpha. The matrix is owned
 	// by the mechanism and must not be mutated; it remains valid until
-	// the next Emission or Begin call.
+	// the next Emission or Begin call. Every entry must be finite and
+	// non-negative — implementations validate at build time (see
+	// ValidateEmission), which lets the release loop feed columns to the
+	// quantifier's trusted entry points without a per-candidate O(m)
+	// validation sweep.
 	Emission(alpha float64) (*mat.Matrix, error)
 	// Observe commits the released observation for the current timestamp
 	// (posterior update for stateful mechanisms). col is the emission
@@ -156,6 +160,20 @@ func (id *Identity) Observe(int, int, mat.Vector) error { return nil }
 
 // HistoryIndependent marks the mechanism as history-independent.
 func (id *Identity) HistoryIndependent() {}
+
+// ValidateEmission checks the Perturber.Emission contract: every entry
+// finite and non-negative. Mechanisms call it once when a matrix is
+// materialised (the emission table's miss path, the δ-location-set
+// rebuild), which is what entitles downstream consumers to the
+// quantifier's trusted (sweep-free) Check/Commit entry points.
+func ValidateEmission(e *mat.Matrix) error {
+	for i, v := range e.Data {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lppm: emission[%d,%d] = %g invalid", i/e.Cols, i%e.Cols, v)
+		}
+	}
+	return nil
+}
 
 // clampFinite validates a strictly-positive finite parameter.
 func clampFinite(name string, v float64) error {

@@ -73,6 +73,11 @@ func (t *EmissionTable) Get(alpha float64) (*mat.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Validate once per materialised matrix: consumers are entitled to
+	// skip per-candidate emission sweeps (see Perturber.Emission).
+	if err := ValidateEmission(em); err != nil {
+		return nil, err
+	}
 
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -73,20 +73,7 @@ func CheckRelease(chk ReleaseCheck, opt ReleaseOptions) (ReleaseDecision, error)
 			Eq15: Result{Verdict: Satisfied},
 			Eq16: Result{Verdict: Satisfied}}, nil
 	}
-	inv := 1 / scale
-	b := chk.BTilde.Clone().Scale(inv)
-	c := chk.CTilde.Clone().Scale(inv)
-
-	eEps := math.Exp(chk.Epsilon)
-	w1 := make(mat.Vector, n)
-	q1 := b
-	w2 := make(mat.Vector, n)
-	q2 := make(mat.Vector, n)
-	for i := 0; i < n; i++ {
-		w1[i] = (eEps-1)*b[i] - eEps*c[i]
-		w2[i] = (eEps-1)*b[i] + c[i]
-		q2[i] = -eEps * b[i]
-	}
+	w1, q1, w2, q2 := releaseConditions(chk, scale)
 
 	so := chk.normalisedOptions(opt)
 	dec := ReleaseDecision{}
@@ -114,6 +101,123 @@ func CheckRelease(chk ReleaseCheck, opt ReleaseOptions) (ReleaseDecision, error)
 	dec.Conservative = !dec.OK &&
 		r15.Verdict != Violated && r16.Verdict != Violated
 	return dec, nil
+}
+
+// releaseConditions builds the normalised linear data of the two
+// Theorem IV.1 conditions: b̂ = b̃/scale, ĉ = c̃/scale, and
+//
+//	Eq. 15: w₁ = (e^ε−1)·b̂ − e^ε·ĉ, q₁ = b̂
+//	Eq. 16: w₂ = (e^ε−1)·b̂ + ĉ,    q₂ = −e^ε·b̂
+func releaseConditions(chk ReleaseCheck, scale float64) (w1, q1, w2, q2 mat.Vector) {
+	n := len(chk.ATilde)
+	inv := 1 / scale
+	b := chk.BTilde.Clone().Scale(inv)
+	c := chk.CTilde.Clone().Scale(inv)
+	eEps := math.Exp(chk.Epsilon)
+	w1 = make(mat.Vector, n)
+	q1 = b
+	w2 = make(mat.Vector, n)
+	q2 = make(mat.Vector, n)
+	for i := 0; i < n; i++ {
+		w1[i] = (eEps-1)*b[i] - eEps*c[i]
+		w2[i] = (eEps-1)*b[i] + c[i]
+		q2[i] = -eEps * b[i]
+	}
+	return w1, q1, w2, q2
+}
+
+// CheckReleaseShadow is CheckRelease over *approximate* (b̃, c̃) — the
+// float32 shadow check path — with certified error margins. chk's
+// BTilde/CTilde may differ from the exact float64 vectors by a common
+// positive scale (which cancels: both conditions are homogeneous in
+// (b̃, c̃)) plus a per-component absolute error of at most eta relative
+// to the vectors' maximum (world.ShadowEta for the engine's shadow
+// pipeline). ATilde and Epsilon must be exact.
+//
+// The decision margin: after the joint rescale both |b̂ᵢ|, |ĉᵢ| ≤ 1, so
+// the shadow-vs-exact perturbation of each normalised component is at
+// most etaN = 2·eta (the normalisation scale is itself a shadow
+// quantity). Over the simplex π·v ≤ max vᵢ for the linear parts and
+// π·ã ≤ max ãᵢ for the quadratic factor, so the objective error is
+// bounded by
+//
+//	Δ₁ = maxA·(2e^ε−1)·etaN + etaN        (Eq. 15)
+//	Δ₂ = e^ε·(maxA + 1)·etaN              (Eq. 16)
+//
+// A condition is *decided satisfied* when the solver certifies
+// Upper ≤ Tol − Δ, and *decided violated* when it finds
+// Lower > Tol + Δ: in both cases the exact objective provably lands on
+// the same side of Tol, so the decision matches what CheckRelease on
+// the exact vectors would certify. decided is false when the margins
+// cannot settle both conditions — the caller must recompute with the
+// exact float64 path. Commit-side state is untouched either way, so
+// release sequences stay bit-identical to the exact path.
+func CheckReleaseShadow(chk ReleaseCheck, eta float64, opt ReleaseOptions) (ReleaseDecision, bool, error) {
+	n := len(chk.ATilde)
+	if len(chk.BTilde) != n || len(chk.CTilde) != n {
+		return ReleaseDecision{}, false, fmt.Errorf("qp: shadow check length mismatch a=%d b=%d c=%d",
+			n, len(chk.BTilde), len(chk.CTilde))
+	}
+	if chk.Epsilon <= 0 || math.IsNaN(chk.Epsilon) || math.IsInf(chk.Epsilon, 0) {
+		return ReleaseDecision{}, false, fmt.Errorf("qp: epsilon must be positive and finite, got %g", chk.Epsilon)
+	}
+	if eta <= 0 || eta >= 1e-3 {
+		return ReleaseDecision{}, false, fmt.Errorf("qp: implausible shadow eta %g", eta)
+	}
+	scale := math.Max(chk.BTilde.AbsMax(), chk.CTilde.AbsMax())
+	if scale == 0 {
+		// The shadow vectors collapsed; the exact ones may not have.
+		// Only the exact path can certify the trivially-safe case.
+		return ReleaseDecision{}, false, nil
+	}
+	w1, q1, w2, q2 := releaseConditions(chk, scale)
+
+	maxA := chk.ATilde.AbsMax()
+	eEps := math.Exp(chk.Epsilon)
+	etaN := 2 * eta
+	d1 := maxA*(2*eEps-1)*etaN + etaN
+	d2 := eEps * (maxA + 1) * etaN
+
+	so := chk.normalisedOptions(opt)
+	deadline := time.Now().Add(opt.Deadline)
+	dec := ReleaseDecision{}
+
+	r15, err := Solve(Problem{A: chk.ATilde, W: w1, Q: q1}, so)
+	if err != nil {
+		return ReleaseDecision{}, false, fmt.Errorf("qp: shadow Eq.15 solve: %w", err)
+	}
+	dec.Eq15 = r15
+	if r15.Verdict == Violated && r15.Lower > so.Tol+d1 {
+		// Certified violation of Eq. 15: reject without solving Eq. 16,
+		// exactly as the exact path's !OK outcome (not conservative).
+		return dec, true, nil
+	}
+	sat15 := r15.Verdict == Satisfied && r15.Upper <= so.Tol-d1
+
+	if opt.Deadline > 0 {
+		if rem := time.Until(deadline); rem <= 0 {
+			so.Deadline = time.Nanosecond
+		} else {
+			so.Deadline = rem
+		}
+	}
+	r16, err := Solve(Problem{A: chk.ATilde, W: w2, Q: q2}, so)
+	if err != nil {
+		return ReleaseDecision{}, false, fmt.Errorf("qp: shadow Eq.16 solve: %w", err)
+	}
+	dec.Eq16 = r16
+	if r16.Verdict == Violated && r16.Lower > so.Tol+d2 {
+		return dec, true, nil
+	}
+	sat16 := r16.Verdict == Satisfied && r16.Upper <= so.Tol-d2
+
+	if sat15 && sat16 {
+		dec.OK = true
+		return dec, true, nil
+	}
+	// Margins too tight to certify either way: ambiguous, recompute
+	// exactly.
+	return dec, false, nil
 }
 
 func (chk ReleaseCheck) normalisedOptions(opt ReleaseOptions) Options {

@@ -1,0 +1,123 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"priste/internal/mat"
+)
+
+const testEta = 16.0 / (1 << 24) // mirrors world.ShadowEta
+
+func TestCheckReleaseShadowValidation(t *testing.T) {
+	ok3 := mat.Vector{0.1, 0.2, 0.3}
+	if _, _, err := CheckReleaseShadow(ReleaseCheck{ATilde: ok3, BTilde: mat.Vector{1}, CTilde: ok3, Epsilon: 1}, testEta, ReleaseOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := CheckReleaseShadow(ReleaseCheck{ATilde: ok3, BTilde: ok3, CTilde: ok3, Epsilon: 0}, testEta, ReleaseOptions{}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, _, err := CheckReleaseShadow(ReleaseCheck{ATilde: ok3, BTilde: ok3, CTilde: ok3, Epsilon: 1}, 0, ReleaseOptions{}); err == nil {
+		t.Error("zero eta accepted")
+	}
+	if _, _, err := CheckReleaseShadow(ReleaseCheck{ATilde: ok3, BTilde: ok3, CTilde: ok3, Epsilon: 1}, 0.01, ReleaseOptions{}); err == nil {
+		t.Error("implausibly large eta accepted")
+	}
+}
+
+func TestCheckReleaseShadowDecidesComfortableCases(t *testing.T) {
+	// Uninformative observation: the exact optimum sits well below Tol on
+	// both conditions, so the shadow margins must not get in the way.
+	a := mat.Vector{0.3, 0.5, 0.2}
+	b := a.Clone().Scale(0.01)
+	c := mat.Vector{0.01, 0.01, 0.01}
+	dec, decided, err := CheckReleaseShadow(ReleaseCheck{ATilde: a, BTilde: b, CTilde: c, Epsilon: 0.1}, testEta, ReleaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decided || !dec.OK {
+		t.Fatalf("comfortable satisfied case not decided OK: decided=%v dec=%+v", decided, dec)
+	}
+
+	// Strongly revealing observation: a hard violation with a lower bound
+	// far past Tol, so the shadow must certify the reject.
+	a2 := mat.Vector{0.9, 0.1}
+	b2 := mat.Vector{0.9 * 0.99, 0.1 * 0.01}
+	c2 := mat.Vector{b2[0] + 0.001*(1-a2[0]), b2[1] + 0.001*(1-a2[1])}
+	dec2, decided2, err := CheckReleaseShadow(ReleaseCheck{ATilde: a2, BTilde: b2, CTilde: c2, Epsilon: 0.5}, testEta, ReleaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decided2 {
+		t.Fatalf("comfortable violation not decided: dec=%+v", dec2)
+	}
+	if dec2.OK || dec2.Conservative {
+		t.Fatalf("violation misclassified: %+v", dec2)
+	}
+}
+
+func TestCheckReleaseShadowZeroScaleDefers(t *testing.T) {
+	a := mat.Vector{0.5, 0.5}
+	z := mat.Vector{0, 0}
+	_, decided, err := CheckReleaseShadow(ReleaseCheck{ATilde: a, BTilde: z, CTilde: z, Epsilon: 1}, testEta, ReleaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decided {
+		t.Fatal("collapsed shadow vectors must defer to the exact path")
+	}
+}
+
+// TestCheckReleaseShadowNeverContradictsExact is the soundness property
+// the margins certify: feed the shadow checker vectors perturbed by up
+// to eta (relative to the max) and rescaled by an arbitrary common
+// factor; whenever it decides, the exact checker on the unperturbed
+// vectors must reach the same OK/reject outcome.
+func TestCheckReleaseShadowNeverContradictsExact(t *testing.T) {
+	decidedRuns := 0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := make(mat.Vector, n)
+		b := make(mat.Vector, n)
+		c := make(mat.Vector, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Float64()
+			c[i] = rng.Float64()
+			b[i] = c[i] * rng.Float64() * a[i]
+		}
+		chk := ReleaseCheck{ATilde: a, BTilde: b, CTilde: c, Epsilon: 0.3 + rng.Float64()}
+		exact, err := CheckRelease(chk, ReleaseOptions{})
+		if err != nil {
+			return false
+		}
+		// Worst-case shadow: every component off by ±eta·max, then a
+		// common scale swing of 120 decades.
+		mx := math.Max(b.AbsMax(), c.AbsMax())
+		scale := math.Pow(10, -60+120*rng.Float64())
+		sb := make(mat.Vector, n)
+		sc := make(mat.Vector, n)
+		for i := 0; i < n; i++ {
+			sb[i] = (b[i] + (2*rng.Float64()-1)*testEta*mx) * scale
+			sc[i] = (c[i] + (2*rng.Float64()-1)*testEta*mx) * scale
+		}
+		shadowChk := ReleaseCheck{ATilde: a, BTilde: sb, CTilde: sc, Epsilon: chk.Epsilon}
+		dec, decided, err := CheckReleaseShadow(shadowChk, testEta, ReleaseOptions{})
+		if err != nil {
+			return false
+		}
+		if !decided {
+			return true // fallback is always sound
+		}
+		decidedRuns++
+		return dec.OK == exact.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if decidedRuns == 0 {
+		t.Fatal("shadow checker never decided a single instance")
+	}
+}

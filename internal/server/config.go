@@ -82,10 +82,19 @@ type Config struct {
 	// persisted sessions are scoped to it (see worldTag).
 	SparseCutoff float64
 	// Kernel selects the transition-kernel compilation mode:
-	// KernelAuto (default, empty string), KernelDense or KernelSparse.
-	// Dense and sparse kernels are bit-for-bit equivalent; forcing one
-	// is a performance/regression knob, not a semantic one.
+	// KernelAuto (default, empty string), KernelDense, KernelSparse or
+	// KernelOracle (the naive reference kernels, for regression
+	// comparison). All modes are bit-for-bit equivalent; forcing one is
+	// a performance/regression knob, not a semantic one — which is why,
+	// like Kernel, it does not enter the plan-registry key.
 	Kernel string
+	// Shadow enables the float32 shadow check path on every compiled
+	// plan (core.Config.Shadow): candidate checks run against float32
+	// operator copies and are decided directly when the qp margin
+	// exceeds the certified error bound, falling back to the exact
+	// float64 check otherwise. Released sequences are identical with
+	// and without it, so it is not part of the plan key either.
+	Shadow bool
 
 	// MaxSessions caps live sessions; creating one more evicts the least
 	// recently used session. Default DefaultMaxSessions.
@@ -154,6 +163,7 @@ const (
 	KernelAuto   = "auto"
 	KernelDense  = "dense"
 	KernelSparse = "sparse"
+	KernelOracle = "oracle"
 )
 
 // kernelMode maps the config string onto the world compilation mode.
@@ -165,9 +175,11 @@ func (c Config) kernelMode() (world.KernelMode, error) {
 		return world.KernelDense, nil
 	case KernelSparse:
 		return world.KernelSparse, nil
+	case KernelOracle:
+		return world.KernelOracle, nil
 	default:
-		return 0, fmt.Errorf("server: unknown kernel mode %q (want %q, %q or %q)",
-			c.Kernel, KernelAuto, KernelDense, KernelSparse)
+		return 0, fmt.Errorf("server: unknown kernel mode %q (want %q, %q, %q or %q)",
+			c.Kernel, KernelAuto, KernelDense, KernelSparse, KernelOracle)
 	}
 }
 

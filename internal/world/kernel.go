@@ -1,6 +1,10 @@
 package world
 
-import "priste/internal/mat"
+import (
+	"sync/atomic"
+
+	"priste/internal/mat"
+)
 
 // KernelMode selects how a Model compiles its per-timestamp transition
 // matrices into step kernels.
@@ -12,11 +16,21 @@ const (
 	// paths are bit-for-bit equivalent (see mat.CSR), so the choice is
 	// purely a performance decision.
 	KernelAuto KernelMode = iota
-	// KernelDense forces the dense kernels (baseline / regression mode).
+	// KernelDense forces the dense kernels. The dense path dispatches
+	// each operator product adaptively — banded while the tracked
+	// operator bandwidth beats dense flops, otherwise the skip-based
+	// naive loop below ~50% operator density and the blocked
+	// register-tiled kernel above it. All three produce bit-identical
+	// results (see mat.MulABtInto, mat.MulBandInto).
 	KernelDense
 	// KernelSparse forces CSR regardless of density (test mode; a dense
 	// matrix through CSR is slower, not wrong).
 	KernelSparse
+	// KernelOracle forces the naive dense reference kernels everywhere:
+	// no CSR, no blocking, no banded dispatch. It is the bit-identical
+	// oracle the cross-kernel equivalence tests and BENCH kernel
+	// comparisons measure the adaptive paths against.
+	KernelOracle
 )
 
 // String implements fmt.Stringer.
@@ -28,6 +42,8 @@ func (m KernelMode) String() string {
 		return "dense"
 	case KernelSparse:
 		return "sparse"
+	case KernelOracle:
+		return "oracle"
 	default:
 		return "KernelMode(?)"
 	}
@@ -48,6 +64,13 @@ type ModelOptions struct {
 	// SparseThreshold overrides DefaultSparseThreshold for KernelAuto;
 	// zero or negative uses the default.
 	SparseThreshold float64
+	// Shadow additionally compiles float32 copies of the step kernels,
+	// enabling the quantifier's float32 shadow check path (ShadowCheck):
+	// candidate checks run against float32 operators and are accepted or
+	// rejected directly when the qp decision margin exceeds the
+	// certified error bound, with exact float64 recompute on ambiguous
+	// margins. Commit always runs exact float64.
+	Shadow bool
 }
 
 func (o ModelOptions) threshold() float64 {
@@ -81,20 +104,45 @@ type stepKernel struct {
 	denseT *mat.Matrix // non-nil iff csr == nil (once materialised)
 	csr    *mat.CSR    // non-nil on the sparse path
 	csrT   *mat.CSR
+
+	// bw is the bandwidth of the transition matrix (largest |i−j| over
+	// nonzeros): the amount each committed step widens the forward
+	// operators' band. Computed for every mode; only the adaptive dense
+	// dispatch consumes it.
+	bw     int
+	oracle bool
+	// tNNZ is the nonzero count of denseT, fixed at materialisation —
+	// the backward dispatch's density input, scanned once per kernel
+	// instead of once per commit.
+	tNNZ int
+
+	// float32 shadow forms (ModelOptions.Shadow only).
+	m32 *mat.Matrix32
+	c32 *mat.CSR32
 }
 
 // compileKernel builds the kernel for one transition matrix. lazyT
 // defers the transpose; pass false for kernels that will be shared
-// (the transpose write in transMulMatInto is only safe call-private).
+// (the transpose write in backwardMul is only safe call-private).
 func compileKernel(m *mat.Matrix, opts ModelOptions, lazyT bool) *stepKernel {
-	k := &stepKernel{dense: m}
+	k := &stepKernel{dense: m, bw: mat.Bandwidth(m)}
 	switch opts.Kernel {
 	case KernelDense:
+	case KernelOracle:
+		k.oracle = true
 	case KernelSparse:
 		k.csr = mat.CSRFromDense(m)
 	default:
 		if c := mat.CSRFromDense(m); c.Density() <= opts.threshold() {
 			k.csr = c
+		}
+	}
+	if opts.Shadow {
+		if k.csr != nil {
+			k.c32 = k.csr.Shadow32()
+		} else {
+			// Transition entries live in [0,1]: no rescale needed.
+			k.m32 = mat.Shadow32Scaled(m, 1)
 		}
 	}
 	if !lazyT {
@@ -109,34 +157,103 @@ func (k *stepKernel) materialiseTranspose() {
 		k.csrT = k.csr.Transpose()
 	} else {
 		k.denseT = k.dense.Transpose()
+		k.tNNZ = k.denseT.NNZ()
 	}
 }
 
 // sparse reports whether the kernel runs on the CSR path.
 func (k *stepKernel) sparse() bool { return k.csr != nil }
 
-// mulVecInto stores M·x into dst. dst must not alias x.
+// kernelCounters tallies adaptive dispatch decisions. A Model is shared
+// across sessions, so the counters are atomic.
+type kernelCounters struct {
+	blocked atomic.Int64
+	banded  atomic.Int64
+}
+
+// bandedWins reports whether a banded product over bands (aBand, bBand)
+// beats the blocked dense kernel on an m×m product. The banded scatter
+// costs ~2× per multiply-add what the register-blocked kernel does, so
+// the band wins while its flop count is under half of m³. Bands at or
+// beyond m−1 are full rows — banded degenerates to a slower naive loop.
+func bandedWins(m, aBand, bBand int) bool {
+	if aBand >= m-1 && bBand >= m-1 {
+		return false
+	}
+	ka := min(aBand, m-1)
+	kb := min(bBand, m-1)
+	flops := int64(m) * int64(2*ka+1) * int64(2*kb+1)
+	return 2*flops < int64(m)*int64(m)*int64(m)
+}
+
+// mulVecInto stores M·x into dst. dst must not alias x. The dense
+// non-oracle path restricts the row dots to M's band (bit-identical:
+// the skipped entries are exact zeros).
 func (k *stepKernel) mulVecInto(dst, x mat.Vector) {
 	if k.csr != nil {
 		k.csr.MulVecInto(dst, x)
 		return
 	}
+	if !k.oracle && 2*k.bw+1 < k.dense.Rows {
+		mat.MulVecBandInto(dst, k.dense, x, k.bw)
+		return
+	}
 	k.dense.MulVecInto(dst, x)
 }
 
-// matMulInto stores a·M into dst (the forward Commit update X = A·M).
-// dst must not alias a.
-func (k *stepKernel) matMulInto(dst, a *mat.Matrix) {
+// mulVec32Into stores M·x into dst through the float32 shadow kernel
+// with float64 accumulation, reporting whether a shadow form exists.
+func (k *stepKernel) mulVec32Into(dst, x mat.Vector) bool {
+	if k.c32 != nil {
+		k.c32.MulVecInto(dst, x)
+		return true
+	}
+	if k.m32 != nil {
+		k.m32.MulVecInto(dst, x)
+		return true
+	}
+	return false
+}
+
+// forwardMul stores a·M into dst (the forward Commit update X = A·M),
+// where a is a forward operator with tracked bandwidth aBand (pass
+// ≥ m−1 when unknown/full). dst must not alias a. The dense non-oracle
+// path picks, in order: the banded kernel while the band beats dense
+// flops, the skip-based naive loop while a is under ~50% dense (a
+// nonzero scan costs ~0.5% of a blocked product), and the blocked
+// register-tiled kernel otherwise. All paths are bit-identical.
+func (k *stepKernel) forwardMul(dst, a *mat.Matrix, aBand int, kc *kernelCounters) {
 	if k.csr != nil {
 		mat.MulCSRInto(dst, a, k.csr)
 		return
 	}
-	mat.MulInto(dst, a, k.dense)
+	if k.oracle {
+		mat.MulInto(dst, a, k.dense)
+		return
+	}
+	m := a.Rows
+	if bandedWins(m, aBand, k.bw) {
+		mat.MulBandInto(dst, a, k.dense, min(aBand, m-1), k.bw)
+		kc.banded.Add(1)
+		return
+	}
+	if 2*a.NNZ() < m*m {
+		mat.MulInto(dst, a, k.dense)
+		return
+	}
+	if k.denseT == nil {
+		k.materialiseTranspose()
+	}
+	mat.MulABtInto(dst, a, k.denseT)
+	kc.blocked.Add(1)
 }
 
-// transMulMatInto stores Mᵀ·b into dst (the backward Commit update).
-// dst must not alias b.
-func (k *stepKernel) transMulMatInto(dst, b *mat.Matrix) {
+// backwardMul stores Mᵀ·b into dst (the backward Commit update), where
+// b is the backward accumulator with tracked bandwidth bBand. dst must
+// not alias b. tScratch is caller scratch (≥ b's shape) the blocked
+// path may overwrite with bᵀ; the blocked kernel wants the right
+// operand transposed, and transposing b costs ~2% of the product.
+func (k *stepKernel) backwardMul(dst, b *mat.Matrix, bBand int, tScratch *mat.Matrix, kc *kernelCounters) {
 	if k.csrT == nil && k.denseT == nil {
 		// Lazily-compiled (call-private) kernel: first backward use.
 		k.materialiseTranspose()
@@ -145,10 +262,27 @@ func (k *stepKernel) transMulMatInto(dst, b *mat.Matrix) {
 		k.csrT.MulMatInto(dst, b)
 		return
 	}
-	mat.MulInto(dst, k.denseT, b)
+	if k.oracle {
+		mat.MulInto(dst, k.denseT, b)
+		return
+	}
+	m := b.Rows
+	if bandedWins(m, k.bw, bBand) {
+		mat.MulBandInto(dst, k.denseT, b, k.bw, min(bBand, m-1))
+		kc.banded.Add(1)
+		return
+	}
+	if 2*k.tNNZ < m*m {
+		mat.MulInto(dst, k.denseT, b)
+		return
+	}
+	mat.TransposeInto(tScratch, b)
+	mat.MulABtInto(dst, k.denseT, tScratch)
+	kc.blocked.Add(1)
 }
 
-// KernelStats summarises a model's (or plan's) compiled step kernels.
+// KernelStats summarises a model's (or plan's) compiled step kernels and
+// the adaptive dispatch decisions taken so far.
 type KernelStats struct {
 	// Sparse and Dense count compiled kernels by path.
 	Sparse int `json:"sparse"`
@@ -158,6 +292,11 @@ type KernelStats struct {
 	// Density is the mean per-kernel density; a dense-path kernel
 	// counts as 1 regardless of its zero pattern.
 	Density float64 `json:"density"`
+	// Blocked and Banded count operator products executed through the
+	// blocked register-tiled and banded kernels (the adaptive dense
+	// dispatch; naive-loop products are not counted).
+	Blocked int64 `json:"blocked"`
+	Banded  int64 `json:"banded"`
 }
 
 // Add merges o into s (entries-weighted density) and returns the result.
@@ -167,6 +306,8 @@ func (s KernelStats) Add(o KernelStats) KernelStats {
 	s.Sparse += o.Sparse
 	s.Dense += o.Dense
 	s.NNZ += o.NNZ
+	s.Blocked += o.Blocked
+	s.Banded += o.Banded
 	if se+oe > 0 {
 		s.Density = (s.Density*se + o.Density*oe) / (se + oe)
 	}

@@ -1,0 +1,209 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"priste/internal/event"
+	"priste/internal/grid"
+	"priste/internal/markov"
+	"priste/internal/mat"
+)
+
+// TestCrossKernelEquivalence is the property-style oracle test for the
+// adaptive kernel paths: for random mobility models (dense Gaussian,
+// truncated-sparse, walk; homogeneous and time-varying), random event
+// shapes whose horizon spans the window end, and emission streams that
+// force renormalisation, every compiled mode (adaptive dense, sparse,
+// auto) must agree bit-for-bit with the naive oracle on every Check,
+// every Current, the LogScale sequence and the rolling fingerprint —
+// the property that lets release sequences, certified-cache entries and
+// restart replay move freely between kernels.
+func TestCrossKernelEquivalence(t *testing.T) {
+	type chainCase struct {
+		name  string
+		build func(g *grid.Grid) (*markov.Chain, error)
+	}
+	chains := []chainCase{
+		{"gauss", func(g *grid.Grid) (*markov.Chain, error) { return markov.GaussianChain(g, 1) }},
+		{"trunc", func(g *grid.Grid) (*markov.Chain, error) {
+			c, err := markov.GaussianChain(g, 1)
+			if err != nil {
+				return nil, err
+			}
+			return c.Sparsified(1e-3)
+		}},
+		{"walk", func(g *grid.Grid) (*markov.Chain, error) { return markov.LazyRandomWalk(g, 0.4) }},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, cc := range chains {
+		for _, varying := range []bool{false, true} {
+			name := cc.name
+			if varying {
+				name += "/varying"
+			}
+			t.Run(name, func(t *testing.T) {
+				side := 5 + rng.Intn(3) // m in 25..49
+				g := grid.MustNew(side, side, 1)
+				m := g.States()
+				chain, err := cc.build(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var tp TransitionProvider = NewHomogeneous(chain)
+				if varying {
+					// Mix the chain with a second structure so kernels
+					// alternate between steps (CSR and dense under auto).
+					walk, err := markov.LazyRandomWalk(g, 0.7)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tp, err = NewVarying([]*mat.Matrix{
+						chain.Matrix(), walk.Matrix(), chain.Matrix(), walk.Matrix(),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				start := 1 + rng.Intn(2)
+				end := start + 1 + rng.Intn(3)
+				region, err := grid.RegionRange(m, 0, m/3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ev := event.MustNewPresence(region, start, end)
+				horizon := end + 3 + rng.Intn(4) // always spans the window end
+
+				modes := []KernelMode{KernelOracle, KernelDense, KernelSparse, KernelAuto}
+				quants := make([]*Quantifier, len(modes))
+				for i, mode := range modes {
+					md, err := NewModelWithOptions(tp, ev, ModelOptions{Kernel: mode})
+					if err != nil {
+						t.Fatal(err)
+					}
+					quants[i] = NewQuantifier(md)
+				}
+				for step := 0; step < horizon; step++ {
+					col := randomEmissionColumn(rng, m)
+					if step == 2 {
+						// Crush the magnitude to force lazy renormalisation
+						// at the same timestamp on every path.
+						col.Scale(1e-130)
+					}
+					ref, err := quants[0].Check(col)
+					if err != nil {
+						t.Fatal(err)
+					}
+					refB := ref.BTilde.Clone()
+					refC := ref.CTilde.Clone()
+					for i := 1; i < len(quants); i++ {
+						chk, err := quants[i].Check(col)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sameBits(t, modes[i].String()+" check b", chk.BTilde, refB)
+						sameBits(t, modes[i].String()+" check c", chk.CTilde, refC)
+					}
+					for _, q := range quants {
+						if err := q.CommitTagged(col, uint64(step)+1, step%m); err != nil {
+							t.Fatal(err)
+						}
+					}
+					for i := 1; i < len(quants); i++ {
+						if quants[i].LogScale() != quants[0].LogScale() {
+							t.Fatalf("step %d mode %v: logScale %v vs oracle %v",
+								step, modes[i], quants[i].LogScale(), quants[0].LogScale())
+						}
+						if quants[i].HistoryFingerprint() != quants[0].HistoryFingerprint() {
+							t.Fatalf("step %d mode %v: fingerprint diverged", step, modes[i])
+						}
+						cur, refCur := quants[i].Current(), quants[0].Current()
+						sameBits(t, modes[i].String()+" current b", cur.BTilde, refCur.BTilde)
+						sameBits(t, modes[i].String()+" current c", cur.CTilde, refCur.CTilde)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShadowCheckAccuracy drives a shadow-enabled quantifier through a
+// full horizon and verifies, at every step and for every candidate,
+// that the max-normalised shadow b̃/c̃ agree with the exact ones within
+// the certified ShadowEta bound (the shadow result carries an unknown
+// common scale, so the comparison is on shape).
+func TestShadowCheckAccuracy(t *testing.T) {
+	g := grid.MustNew(6, 6, 1)
+	m := g.States()
+	chain, err := markov.GaussianChain(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := grid.RegionRange(m, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := event.MustNewPresence(region, 2, 5)
+	md, err := NewModelWithOptions(NewHomogeneous(chain), ev, ModelOptions{Kernel: KernelDense, Shadow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuantifier(md)
+	rng := rand.New(rand.NewSource(9))
+	shadowRuns := 0
+	for step := 0; step < 10; step++ {
+		commitCol := randomEmissionColumn(rng, m)
+		if step == 3 {
+			commitCol.Scale(1e-120) // cross a renormalisation
+		}
+		for cand := 0; cand < 3; cand++ {
+			col := randomEmissionColumn(rng, m)
+			shadow, ok := q.ShadowCheck(col)
+			if step == 0 {
+				if ok {
+					t.Fatal("ShadowCheck must defer to the exact path at t=0")
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("step %d: shadow path unavailable", step)
+			}
+			shB := shadow.BTilde.Clone()
+			shC := shadow.CTilde.Clone()
+			exact := q.CheckTrusted(col)
+			assertShadowShape(t, "b", shB, exact.BTilde)
+			assertShadowShape(t, "c", shC, exact.CTilde)
+			shadowRuns++
+		}
+		if err := q.Commit(commitCol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if shadowRuns == 0 {
+		t.Fatal("shadow path never ran")
+	}
+}
+
+// assertShadowShape checks the certified property the margins build on:
+// shadow ≈ scale·exact for a single positive scale, with per-component
+// absolute error within ShadowEta relative to the vector's maximum
+// (2× slack for the scale estimate itself being a shadow quantity).
+func assertShadowShape(t *testing.T, label string, shadow, exact mat.Vector) {
+	t.Helper()
+	sMax, eMax := shadow.AbsMax(), exact.AbsMax()
+	if eMax == 0 {
+		return
+	}
+	if sMax == 0 {
+		t.Fatalf("%s: shadow collapsed to zero", label)
+	}
+	scale := sMax / eMax
+	for i := range exact {
+		want := exact[i] * scale
+		if diff := math.Abs(shadow[i] - want); diff > 2*ShadowEta*sMax {
+			t.Fatalf("%s[%d]: shadow %v vs scaled exact %v (err %g > %g)",
+				label, i, shadow[i], want, diff/sMax, 2*ShadowEta)
+		}
+	}
+}

@@ -41,6 +41,21 @@ type Quantifier struct {
 
 	atilde mat.Vector
 
+	// fwdBand and b1Band track the live bandwidth of the forward
+	// operators and the backward accumulator: each committed step widens
+	// the band by the step matrix's bandwidth (clamped at m−1 = full).
+	// The adaptive dense dispatch uses them to run banded products while
+	// they beat dense flops. fwdMax/b1Max hold the largest absolute
+	// operator entry after the latest commit (a free byproduct of the
+	// commit write passes) — the normalisation scale for the float32
+	// shadow copies.
+	fwdBand, b1Band int
+	fwdMax, b1Max   float64
+
+	// shadow holds the float32 operator copies for the shadow check
+	// path (nil unless ModelOptions.Shadow).
+	shadow *shadowState
+
 	// scratch. Check and Current are zero-allocation: each writes its
 	// b̃/c̃ into its own pair of reusable buffers (checkB/checkC and
 	// curB/curC), which the returned ReleaseCheck aliases — see the
@@ -52,15 +67,27 @@ type Quantifier struct {
 	mx, my           *mat.Matrix
 }
 
+// shadowState carries the float32 copies of the forward operators and
+// backward accumulator consumed by ShadowCheck. Copies are converted
+// lazily (dirty flags set by Commit) and normalised by the operator's
+// maximum entry — the float64 operators roam a magnitude band float32
+// cannot represent. The common scale factor cancels in the Theorem IV.1
+// conditions, which are homogeneous in (b̃, c̃).
+type shadowState struct {
+	af32, at32, b132  *mat.Matrix32
+	fwdDirty, b1Dirty bool
+}
+
 // NewQuantifier returns a fresh quantifier at time 0.
 func NewQuantifier(md *Model) *Quantifier {
 	m := md.m
-	return &Quantifier{
+	q := &Quantifier{
 		md:     md,
 		fp:     fpOffset,
 		af:     mat.NewMatrix(m, m),
 		at:     mat.NewMatrix(m, m),
 		b1:     mat.Identity(m),
+		b1Max:  1,
 		atilde: md.ATilde(),
 		tmp1:   mat.NewVector(m),
 		tmp2:   mat.NewVector(m),
@@ -72,6 +99,16 @@ func NewQuantifier(md *Model) *Quantifier {
 		mx:     mat.NewMatrix(m, m),
 		my:     mat.NewMatrix(m, m),
 	}
+	if md.opts.Shadow {
+		q.shadow = &shadowState{
+			af32:     mat.NewMatrix32(m, m),
+			at32:     mat.NewMatrix32(m, m),
+			b132:     mat.NewMatrix32(m, m),
+			fwdDirty: true,
+			b1Dirty:  true,
+		}
+	}
+	return q
 }
 
 // T returns the next timestamp to be observed.
@@ -98,6 +135,14 @@ func (q *Quantifier) Check(emis mat.Vector) (qp.ReleaseCheck, error) {
 	if err := q.validateEmission(emis); err != nil {
 		return qp.ReleaseCheck{}, err
 	}
+	return q.CheckTrusted(emis), nil
+}
+
+// CheckTrusted is Check without the O(m) emission validation sweep, for
+// callers whose columns come from an already-validated source (the
+// engine's emission tables validate at build; see lppm.EmissionTable).
+// Same zero-allocation buffer contract as Check.
+func (q *Quantifier) CheckTrusted(emis mat.Vector) qp.ReleaseCheck {
 	m := q.md.m
 	b, c := q.checkB, q.checkC
 	switch {
@@ -116,28 +161,40 @@ func (q *Quantifier) Check(emis mat.Vector) (qp.ReleaseCheck, error) {
 			q.tmp1[i] = emis[i] * ((1-ft[i])*vF[i] + ft[i]*vT[i])
 		}
 		k.mulVecInto(q.uvec, q.tmp1)
-		q.af.MulVecInto(b, q.uvec)
+		q.fwdMulVec(q.af, b, q.uvec)
 		// uT likewise with the true-world mask.
 		for i := 0; i < m; i++ {
 			q.tmp1[i] = emis[i] * ((1-tt[i])*vF[i] + tt[i]*vT[i])
 		}
 		k.mulVecInto(q.uvec, q.tmp1)
-		q.at.MulVecInto(q.tmp2, q.uvec)
+		q.fwdMulVec(q.at, q.tmp2, q.uvec)
 		b.AddInto(b, q.tmp2)
 		// c̃ = (A_F + A_T)·(M·emis)
 		k.mulVecInto(q.uvec, emis)
-		q.af.MulVecInto(c, q.uvec)
-		q.at.MulVecInto(q.tmp2, q.uvec)
+		q.fwdMulVec(q.af, c, q.uvec)
+		q.fwdMulVec(q.at, q.tmp2, q.uvec)
 		c.AddInto(c, q.tmp2)
 	default: // q.t > end
 		k := q.md.kernel(q.t - 1)
 		k.mulVecInto(q.uvec, emis)
 		z := q.b1.VecMulInto(q.tmp2, q.uvec) // row: (M·emis)ᵀ·B₁
-		q.at.MulVecInto(b, z)
-		q.af.MulVecInto(c, z)
+		q.fwdMulVec(q.at, b, z)
+		q.fwdMulVec(q.af, c, z)
 		c.AddInto(c, b)
 	}
-	return qp.ReleaseCheck{ATilde: q.atilde, BTilde: b, CTilde: c}, nil
+	return qp.ReleaseCheck{ATilde: q.atilde, BTilde: b, CTilde: c}
+}
+
+// fwdMulVec computes dst = a·x for a forward operator (af or at),
+// restricting the row dots to the operator's tracked band when it is
+// worthwhile — bit-identical to the full dot, since the skipped entries
+// are exact zeros. The oracle mode keeps the plain loop.
+func (q *Quantifier) fwdMulVec(a *mat.Matrix, dst, x mat.Vector) {
+	if q.md.opts.Kernel != KernelOracle && 2*q.fwdBand+1 < q.md.m {
+		mat.MulVecBandInto(dst, a, x, q.fwdBand)
+		return
+	}
+	a.MulVecInto(dst, x)
 }
 
 // Current returns the Theorem IV.1 vectors for the already-committed
@@ -178,6 +235,12 @@ func (q *Quantifier) Commit(emis mat.Vector) error {
 	if err := q.validateEmission(emis); err != nil {
 		return err
 	}
+	q.commitTrusted(emis)
+	return nil
+}
+
+// commitTrusted is Commit without the emission validation sweep.
+func (q *Quantifier) commitTrusted(emis mat.Vector) {
 	m := q.md.m
 	var scale float64
 	switch {
@@ -192,20 +255,34 @@ func (q *Quantifier) Commit(emis mat.Vector) error {
 			q.at.Set(i, i, tr)
 			scale = math.Max(scale, math.Max(math.Abs(f), math.Abs(tr)))
 		}
+		q.fwdBand = 0
+		q.fwdMax = scale
+		if q.shadow != nil {
+			q.shadow.fwdDirty = true
+		}
 	case q.t <= q.md.end:
 		ft, tt := q.md.stepMasks(q.t - 1)
 		k := q.md.kernel(q.t - 1)
-		k.matMulInto(q.mx, q.af) // X = A_F·M
-		k.matMulInto(q.my, q.at) // Y = A_T·M
+		k.forwardMul(q.mx, q.af, q.fwdBand, &q.md.kc) // X = A_F·M
+		k.forwardMul(q.my, q.at, q.fwdBand, &q.md.kc) // Y = A_T·M
 		scale = q.maskAndScale(ft, tt, emis)
+		q.fwdBand = min(q.fwdBand+k.bw, m-1)
+		q.fwdMax = scale
+		if q.shadow != nil {
+			q.shadow.fwdDirty = true
+		}
 	default: // q.t > end: B₁ ← diag(emis)·Mᵀ·B₁
 		k := q.md.kernel(q.t - 1)
-		k.transMulMatInto(q.mx, q.b1)
+		k.backwardMul(q.mx, q.b1, q.b1Band, q.my, &q.md.kc)
 		scale = mat.ScaleRowsMaxInto(q.b1, q.mx, emis)
+		q.b1Band = min(q.b1Band+k.bw, m-1)
+		q.b1Max = scale
+		if q.shadow != nil {
+			q.shadow.b1Dirty = true
+		}
 	}
 	q.t++
 	q.renormalise(scale)
-	return nil
 }
 
 // maskFlopsCutoff is the multiply-add count above which maskAndScale
@@ -296,6 +373,99 @@ func (q *Quantifier) CommitTagged(emis mat.Vector, alphaBits uint64, obs int) er
 	return nil
 }
 
+// CommitTaggedTrusted is CommitTagged without the emission validation
+// sweep (see CheckTrusted for the trust contract).
+func (q *Quantifier) CommitTaggedTrusted(emis mat.Vector, alphaBits uint64, obs int) {
+	q.commitTrusted(emis)
+	q.fp = FingerprintFold(q.fp, alphaBits, obs)
+}
+
+// ShadowEta bounds the per-component relative error of the float32
+// shadow check pipeline: every b̃/c̃ component computed by ShadowCheck
+// is within a factor (1 ± ShadowEta) of the exact float64 value (up to
+// the common normalisation scale). The bound holds because every matrix
+// entry on the shadow path carries exactly one float64→float32
+// conversion rounding (≤ 2⁻²⁴ relative) while accumulation runs in
+// float64, and the engine's data is non-negative — sums never cancel,
+// so per-term relative errors bound the relative error of the sum. The
+// deepest chain (post-window: kernel matvec → B₁ row-product → operator
+// matvec → add) compounds ≤ 4 such roundings plus O(m·2⁻⁵³) float64
+// accumulation noise and the ~1e-38 subnormal flush of the conversion;
+// 16·2⁻²⁴ covers all of it with 4× slack.
+const ShadowEta = 16.0 / (1 << 24)
+
+// ShadowCheck is the float32 shadow of Check: it computes the Theorem
+// IV.1 vectors for a candidate emission column against float32 copies
+// of the step kernels and operators, accumulating in float64. The
+// returned b̃/c̃ differ from CheckTrusted's by an unknown positive
+// common scale (the float32 copies are max-normalised) and a
+// per-component relative error ≤ ShadowEta; both are exactly what
+// qp.CheckReleaseShadow certifies against. The result aliases the same
+// buffers as Check and is invalidated by the next Check/ShadowCheck.
+//
+// The second return is false when the shadow path cannot run — shadow
+// copies not compiled, t == 0 (the exact branch is already O(m)), or a
+// zero operator — and the caller must use the exact path.
+func (q *Quantifier) ShadowCheck(emis mat.Vector) (qp.ReleaseCheck, bool) {
+	sh := q.shadow
+	if sh == nil || q.t == 0 || q.fwdMax == 0 {
+		return qp.ReleaseCheck{}, false
+	}
+	m := q.md.m
+	b, c := q.checkB, q.checkC
+	if q.t <= q.md.end {
+		if sh.fwdDirty {
+			inv := 1 / q.fwdMax
+			sh.af32.ConvertScaled(q.af, inv)
+			sh.at32.ConvertScaled(q.at, inv)
+			sh.fwdDirty = false
+		}
+		ft, tt := q.md.stepMasks(q.t - 1)
+		k := q.md.kernel(q.t - 1)
+		vF, vT := q.md.vF[q.t], q.md.vT[q.t]
+		for i := 0; i < m; i++ {
+			q.tmp1[i] = emis[i] * ((1-ft[i])*vF[i] + ft[i]*vT[i])
+		}
+		if !k.mulVec32Into(q.uvec, q.tmp1) {
+			return qp.ReleaseCheck{}, false
+		}
+		sh.af32.MulVecInto(b, q.uvec)
+		for i := 0; i < m; i++ {
+			q.tmp1[i] = emis[i] * ((1-tt[i])*vF[i] + tt[i]*vT[i])
+		}
+		k.mulVec32Into(q.uvec, q.tmp1)
+		sh.at32.MulVecInto(q.tmp2, q.uvec)
+		b.AddInto(b, q.tmp2)
+		k.mulVec32Into(q.uvec, emis)
+		sh.af32.MulVecInto(c, q.uvec)
+		sh.at32.MulVecInto(q.tmp2, q.uvec)
+		c.AddInto(c, q.tmp2)
+	} else {
+		if q.b1Max == 0 {
+			return qp.ReleaseCheck{}, false
+		}
+		if sh.fwdDirty {
+			inv := 1 / q.fwdMax
+			sh.af32.ConvertScaled(q.af, inv)
+			sh.at32.ConvertScaled(q.at, inv)
+			sh.fwdDirty = false
+		}
+		if sh.b1Dirty {
+			sh.b132.ConvertScaled(q.b1, 1/q.b1Max)
+			sh.b1Dirty = false
+		}
+		k := q.md.kernel(q.t - 1)
+		if !k.mulVec32Into(q.uvec, emis) {
+			return qp.ReleaseCheck{}, false
+		}
+		z := sh.b132.VecMulInto(q.tmp2, q.uvec)
+		sh.at32.MulVecInto(b, z)
+		sh.af32.MulVecInto(c, z)
+		c.AddInto(c, b)
+	}
+	return qp.ReleaseCheck{ATilde: q.atilde, BTilde: b, CTilde: c}, true
+}
+
 // Lazy-renormalisation band: the rescale exists only to keep the
 // operators away from floating-point under/overflow over long horizons,
 // so it fires when the largest entry leaves [1e-100, 1e100] instead of
@@ -323,8 +493,10 @@ func (q *Quantifier) renormalise(scale float64) {
 	if q.t-1 <= q.md.end {
 		q.af.Scale(1 / scale)
 		q.at.Scale(1 / scale)
+		q.fwdMax = 1
 	} else {
 		q.b1.Scale(1 / scale)
+		q.b1Max = 1
 	}
 	q.logScale += math.Log(scale)
 }

@@ -129,6 +129,11 @@ type Model struct {
 	opts    ModelOptions
 	kernels map[*mat.Matrix]*stepKernel
 	kstats  KernelStats
+
+	// kc tallies the adaptive kernel dispatch decisions of every
+	// quantifier over this model (atomic: models are shared across
+	// sessions).
+	kc kernelCounters
 }
 
 // NewModel validates the combination and precomputes suffix vectors with
@@ -206,8 +211,14 @@ func (md *Model) foldKernelStats(k *stepKernel) {
 }
 
 // KernelStats reports the compiled step kernels (how many took the
-// sparse vs the dense path, and at what density).
-func (md *Model) KernelStats() KernelStats { return md.kstats }
+// sparse vs the dense path, and at what density) plus the adaptive
+// dispatch counts accumulated by quantifiers over this model.
+func (md *Model) KernelStats() KernelStats {
+	ks := md.kstats
+	ks.Blocked = md.kc.blocked.Load()
+	ks.Banded = md.kc.banded.Load()
+	return ks
+}
 
 // kernel returns the compiled kernel for the transition from time t to
 // t+1. The compile-time map covers every matrix of a MatrixLister

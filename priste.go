@@ -220,7 +220,8 @@ type (
 	// ReleaseDecision is the certified outcome for one candidate.
 	ReleaseDecision = qp.ReleaseDecision
 	// KernelMode selects how transition matrices compile into step
-	// kernels (auto / dense / sparse CSR); the paths are bit-equivalent.
+	// kernels (auto / dense / sparse CSR / naive oracle); the paths are
+	// bit-equivalent.
 	KernelMode = world.KernelMode
 	// QuantModelOptions tunes quantification-model compilation.
 	QuantModelOptions = world.ModelOptions
@@ -235,7 +236,17 @@ const (
 	KernelAuto   = world.KernelAuto
 	KernelDense  = world.KernelDense
 	KernelSparse = world.KernelSparse
+	// KernelOracle forces the naive dense reference kernels — the
+	// bit-identical oracle the adaptive paths are tested and benchmarked
+	// against.
+	KernelOracle = world.KernelOracle
 )
+
+// ShadowEta is the certified per-component relative error bound of the
+// float32 shadow check path (world.ShadowEta): the margin by which
+// qp.CheckReleaseShadow widens the Theorem IV.1 decision thresholds when
+// deciding from shadow vectors.
+const ShadowEta = world.ShadowEta
 
 // Homogeneous wraps a time-homogeneous chain as a TransitionProvider.
 func Homogeneous(c *Chain) TransitionProvider { return world.NewHomogeneous(c) }

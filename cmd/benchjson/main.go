@@ -43,6 +43,16 @@
 // vs CSR over the truncated chain, float32 shadow vs exact check — plus
 // the shadow path's engine-level fallback rate.
 //
+// Sweep mode (-cpu 1,2,4,8) runs the whole spec once per listed
+// GOMAXPROCS value, each in its own `go test` subprocess with the
+// GOMAXPROCS environment set. The first listed value produces the
+// document's main "results" section (and stamps the document-level
+// gomaxprocs), keeping it -compare-compatible with single-run baselines;
+// every run also lands in "cpu_sweep" with a per-entry gomaxprocs, and a
+// derived "parallel_scaling" section reports, for each throughput
+// benchmark, the speedup and parallel efficiency of every multi-core row
+// against the first-listed (normally 1-core) row.
+//
 // Regression mode compares two committed documents instead of running
 // anything:
 //
@@ -53,7 +63,10 @@
 // -threshold below OLD on any of them fails the run (exit 1) with a
 // per-benchmark table on stderr. CI runs it against the committed
 // baseline with a generous threshold: runner hardware varies run to
-// run, so only a large, consistent drop should fail a build.
+// run, so only a large, consistent drop should fail a build. When the
+// two documents disagree on gomaxprocs or go_version the comparison is
+// meaningless (multi-core entries must never be diffed against 1-core
+// baselines), so benchjson warns and skips gating (exit 0) instead.
 package main
 
 import (
@@ -78,6 +91,10 @@ type Result struct {
 	// Benchtime is set when the entry overrode the document-level
 	// benchtime (the spec's @benchtime suffix).
 	Benchtime string `json:"benchtime,omitempty"`
+	// GOMAXPROCS is set on cpu_sweep entries: the width the run's
+	// subprocess was pinned to (the document-level gomaxprocs covers
+	// the main results section).
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 	// Metrics maps unit → value, e.g. "ns/op", "allocs/op", "B/op",
 	// "steps/sec", "commits/sec".
 	Metrics map[string]float64 `json:"metrics"`
@@ -134,6 +151,20 @@ type KernelSection struct {
 	ShadowFallbackRate float64 `json:"shadow_fallback_rate"`
 }
 
+// ScalingRow is one benchmark's throughput at one swept GOMAXPROCS
+// value against the sweep's base (first-listed, normally 1-core) row:
+// Speedup = value/base_value, Efficiency = speedup normalised by the
+// core ratio (1.0 = perfect linear scaling).
+type ScalingRow struct {
+	Name       string  `json:"name"`
+	Unit       string  `json:"unit"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Value      float64 `json:"value"`
+	BaseValue  float64 `json:"base_value"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
 // Doc is the output document.
 type Doc struct {
 	GeneratedAt string           `json:"generated_at"`
@@ -144,13 +175,19 @@ type Doc struct {
 	Stages      []StageBreakdown `json:"stages,omitempty"`
 	ServingGap  []ServingGap     `json:"serving_gap,omitempty"`
 	Kernels     *KernelSection   `json:"kernels,omitempty"`
+	// CPUSweep holds every per-GOMAXPROCS run of a -cpu sweep
+	// (including the base run); ParallelScaling the derived
+	// speedup/efficiency rows against the base run.
+	CPUSweep        []Result     `json:"cpu_sweep,omitempty"`
+	ParallelScaling []ScalingRow `json:"parallel_scaling,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output file")
+	out := flag.String("out", "BENCH_PR9.json", "output file")
 	benchtime := flag.String("benchtime", "", "passed to go test -benchtime; empty = default")
 	spec := flag.String("spec", "./internal/mat=.,./internal/world=.,.=ServerStep|SharedPlan|EngineStepCeiling",
 		"comma-separated package=benchRegexp entries")
+	cpu := flag.String("cpu", "", "comma-separated GOMAXPROCS sweep (e.g. 1,2,4,8): run the spec once per value; first value fills the main results section, every run lands in cpu_sweep + parallel_scaling")
 	compare := flag.Bool("compare", false, "compare two committed documents (OLD.json NEW.json args) instead of running benchmarks; exit 1 on regression")
 	threshold := flag.Float64("threshold", 0.15, "with -compare: maximum tolerated fractional throughput drop before failing")
 	flag.Parse()
@@ -163,31 +200,46 @@ func main() {
 		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
 	}
 
+	cpus, err := parseCPUList(*cpu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+
 	doc := Doc{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Benchtime:   *benchtime,
 	}
-	for _, entry := range strings.Split(*spec, ",") {
-		pkg, re, ok := strings.Cut(strings.TrimSpace(entry), "=")
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: bad spec entry %q (want package=regexp[@benchtime])\n", entry)
-			os.Exit(2)
-		}
-		bt, overridden := *benchtime, ""
-		if re2, suffix, ok := strings.Cut(re, "@"); ok {
-			re, bt, overridden = re2, suffix, suffix
-		}
-		results, err := runPackage(pkg, re, bt)
+	if len(cpus) == 0 {
+		// Single run inheriting the process environment.
+		doc.Results, err = runSpec(*spec, *benchtime, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		for i := range results {
-			results[i].Benchtime = overridden
+	} else {
+		// Sweep: the first listed width is the document's canonical
+		// environment (so -compare against single-run baselines stays
+		// meaningful), the rest only feed cpu_sweep/parallel_scaling.
+		doc.GOMAXPROCS = cpus[0]
+		for i, w := range cpus {
+			fmt.Printf("benchjson: sweep GOMAXPROCS=%d (%d/%d)\n", w, i+1, len(cpus))
+			results, err := runSpec(*spec, *benchtime, w)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			if i == 0 {
+				doc.Results = results
+			}
+			for _, r := range results {
+				r.GOMAXPROCS = w
+				doc.CPUSweep = append(doc.CPUSweep, r)
+			}
 		}
-		doc.Results = append(doc.Results, results...)
+		doc.ParallelScaling = parallelScaling(doc.CPUSweep, cpus[0])
 	}
 	doc.Stages = stageBreakdowns(doc.Results)
 	doc.ServingGap = servingGaps(doc.Results)
@@ -204,6 +256,91 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// parseCPUList parses the -cpu flag: a comma-separated list of positive
+// GOMAXPROCS values, empty meaning "no sweep".
+func parseCPUList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -cpu entry %q (want positive integers, e.g. -cpu 1,2,4)", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runSpec runs every spec entry once. gomaxprocs > 0 pins each go test
+// subprocess to that width via the GOMAXPROCS environment; 0 inherits
+// the parent environment.
+func runSpec(spec, benchtime string, gomaxprocs int) ([]Result, error) {
+	var all []Result
+	for _, entry := range strings.Split(spec, ",") {
+		pkg, re, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad spec entry %q (want package=regexp[@benchtime])", entry)
+		}
+		bt, overridden := benchtime, ""
+		if re2, suffix, ok := strings.Cut(re, "@"); ok {
+			re, bt, overridden = re2, suffix, suffix
+		}
+		results, err := runPackage(pkg, re, bt, gomaxprocs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range results {
+			results[i].Benchtime = overridden
+		}
+		all = append(all, results...)
+	}
+	return all, nil
+}
+
+// parallelScaling derives the speedup/efficiency rows from a sweep: for
+// every benchmark with a throughput metric at the base width, each
+// non-base width contributes one row per throughput unit.
+func parallelScaling(sweep []Result, baseCPU int) []ScalingRow {
+	type key struct{ name, unit string }
+	base := map[key]float64{}
+	for _, r := range sweep {
+		if r.GOMAXPROCS != baseCPU {
+			continue
+		}
+		for _, unit := range throughputUnits {
+			if v, ok := r.Metrics[unit]; ok && v > 0 {
+				base[key{r.Name, unit}] = v
+			}
+		}
+	}
+	var out []ScalingRow
+	for _, r := range sweep {
+		if r.GOMAXPROCS == baseCPU {
+			continue
+		}
+		for _, unit := range throughputUnits {
+			v, ok := r.Metrics[unit]
+			bv := base[key{r.Name, unit}]
+			if !ok || v <= 0 || bv <= 0 {
+				continue
+			}
+			speedup := v / bv
+			out = append(out, ScalingRow{
+				Name:       r.Name,
+				Unit:       unit,
+				GOMAXPROCS: r.GOMAXPROCS,
+				Value:      v,
+				BaseValue:  bv,
+				Speedup:    speedup,
+				Efficiency: speedup * float64(baseCPU) / float64(r.GOMAXPROCS),
+			})
+		}
+	}
+	return out
 }
 
 // stageBreakdowns extracts the stage decomposition from every result
@@ -335,9 +472,12 @@ func kernelSection(results []Result) *KernelSection {
 var throughputUnits = []string{"steps/sec", "commits/sec"}
 
 // runCompare loads two documents and fails (exit code 1) when NEW falls
-// more than threshold below OLD on any shared throughput metric.
+// more than threshold below OLD on any shared throughput metric. A
+// gomaxprocs or go_version mismatch between the documents makes the
+// throughput diff meaningless, so it warns and skips gating (exit 0)
+// rather than failing a build on an environment change.
 func runCompare(oldPath, newPath string, threshold float64) int {
-	load := func(path string) (map[string]map[string]float64, error) {
+	load := func(path string) (*Doc, error) {
 		buf, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err
@@ -346,22 +486,35 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		if err := json.Unmarshal(buf, &d); err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		byName := make(map[string]map[string]float64, len(d.Results))
+		return &d, nil
+	}
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if oldDoc.GOMAXPROCS != newDoc.GOMAXPROCS || oldDoc.GoVersion != newDoc.GoVersion {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: WARNING: environment mismatch between documents — skipping regression gating\n"+
+				"  %s: gomaxprocs=%d go=%s\n  %s: gomaxprocs=%d go=%s\n"+
+				"throughput measured at different core counts or toolchains is not comparable; regenerate the baseline in the new environment\n",
+			oldPath, oldDoc.GOMAXPROCS, oldDoc.GoVersion,
+			newPath, newDoc.GOMAXPROCS, newDoc.GoVersion)
+		return 0
+	}
+	byName := func(d *Doc) map[string]map[string]float64 {
+		m := make(map[string]map[string]float64, len(d.Results))
 		for _, r := range d.Results {
-			byName[r.Name] = r.Metrics
+			m[r.Name] = r.Metrics
 		}
-		return byName, nil
+		return m
 	}
-	oldBy, err := load(oldPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		return 2
-	}
-	newBy, err := load(newPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		return 2
-	}
+	oldBy, newBy := byName(oldDoc), byName(newDoc)
 	compared, regressions := 0, 0
 	for name, oldMetrics := range oldBy {
 		newMetrics, ok := newBy[name]
@@ -400,32 +553,43 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 }
 
 // runPackage executes the package's benchmarks and parses the output.
-func runPackage(pkg, benchRe, benchtime string) ([]Result, error) {
+// gomaxprocs > 0 pins the subprocess via the GOMAXPROCS environment.
+func runPackage(pkg, benchRe, benchtime string, gomaxprocs int) ([]Result, error) {
 	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem"}
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
 	}
 	args = append(args, pkg)
 	cmd := exec.Command("go", args...)
+	if gomaxprocs > 0 {
+		cmd.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", gomaxprocs))
+	}
 	var outBuf bytes.Buffer
 	cmd.Stdout = &outBuf
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, outBuf.String())
 	}
+	// Benchmark names carry the subprocess's GOMAXPROCS suffix, which is
+	// the pinned width in sweep mode, not this process's.
+	procs := gomaxprocs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
 	var results []Result
 	sc := bufio.NewScanner(&outBuf)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		if r, ok := parseLine(pkg, sc.Text()); ok {
+		if r, ok := parseLine(pkg, sc.Text(), procs); ok {
 			results = append(results, r)
 		}
 	}
 	return results, sc.Err()
 }
 
-// parseLine parses one "BenchmarkName-P  N  v1 unit1  v2 unit2 ..." line.
-func parseLine(pkg, line string) (Result, bool) {
+// parseLine parses one "BenchmarkName-P  N  v1 unit1  v2 unit2 ..." line,
+// where P is the procs the benchmark binary ran with.
+func parseLine(pkg, line string, procs int) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 		return Result{}, false
@@ -436,7 +600,7 @@ func parseLine(pkg, line string) (Result, bool) {
 	}
 	r := Result{
 		Package:    pkg,
-		Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+		Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", procs)),
 		Iterations: iters,
 		Metrics:    map[string]float64{},
 	}

@@ -208,19 +208,44 @@ func runStats(ctx context.Context, client api.Client, args []string) {
 		fatalf("%v", err)
 	}
 	if *kernels {
-		p := st.Plans
-		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "METRIC\tVALUE")
-		fmt.Fprintf(tw, "dense_kernels\t%d\n", p.DenseKernels)
-		fmt.Fprintf(tw, "sparse_kernels\t%d\n", p.SparseKernels)
-		fmt.Fprintf(tw, "kernel_density\t%.4f\n", p.KernelDensity)
-		fmt.Fprintf(tw, "blocked_products\t%d\n", p.BlockedKernels)
-		fmt.Fprintf(tw, "banded_products\t%d\n", p.BandedKernels)
-		fmt.Fprintf(tw, "shadow_checks\t%d\n", p.ShadowChecks)
-		fmt.Fprintf(tw, "shadow_fallbacks\t%d\n", p.ShadowFallbacks)
+		p, pool := st.Plans, st.Pool
+		// Rows render through one tabwriter so the METRIC column is
+		// sized to the longest counter name present — the pool counters
+		// (pool_parallel_dispatch, …) outgrow the pad width the old
+		// fixed-width rendering assumed, which skewed every VALUE after
+		// the first long name.
+		rows := []struct {
+			name  string
+			value string
+		}{
+			{"dense_kernels", fmt.Sprintf("%d", p.DenseKernels)},
+			{"sparse_kernels", fmt.Sprintf("%d", p.SparseKernels)},
+			{"kernel_density", fmt.Sprintf("%.4f", p.KernelDensity)},
+			{"blocked_products", fmt.Sprintf("%d", p.BlockedKernels)},
+			{"banded_products", fmt.Sprintf("%d", p.BandedKernels)},
+			{"shadow_checks", fmt.Sprintf("%d", p.ShadowChecks)},
+			{"shadow_fallbacks", fmt.Sprintf("%d", p.ShadowFallbacks)},
+		}
 		if p.ShadowChecks > 0 {
-			fmt.Fprintf(tw, "shadow_decided_rate\t%.4f\n",
-				1-float64(p.ShadowFallbacks)/float64(p.ShadowChecks))
+			rows = append(rows, struct{ name, value string }{
+				"shadow_decided_rate",
+				fmt.Sprintf("%.4f", 1-float64(p.ShadowFallbacks)/float64(p.ShadowChecks)),
+			})
+		}
+		rows = append(rows,
+			struct{ name, value string }{"pool_parallelism", fmt.Sprintf("%d", pool.Parallelism)},
+			struct{ name, value string }{"pool_workers", fmt.Sprintf("%d", pool.Workers)},
+			struct{ name, value string }{"pool_busy", fmt.Sprintf("%d", pool.Busy)},
+			struct{ name, value string }{"pool_occupancy", fmt.Sprintf("%.4f", pool.Occupancy)},
+			struct{ name, value string }{"pool_external_load", fmt.Sprintf("%d", pool.External)},
+			struct{ name, value string }{"pool_parallel_dispatch", fmt.Sprintf("%d", pool.ParallelDispatch)},
+			struct{ name, value string }{"pool_serial_dispatch", fmt.Sprintf("%d", pool.SerialDispatch)},
+			struct{ name, value string }{"pool_steals", fmt.Sprintf("%d", pool.Steals)},
+		)
+		tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(tw, "METRIC\tVALUE")
+		for _, r := range rows {
+			fmt.Fprintf(tw, "%s\t%s\n", r.name, r.value)
 		}
 		if err := tw.Flush(); err != nil {
 			fatalf("%v", err)

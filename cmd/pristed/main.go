@@ -64,6 +64,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -89,6 +91,7 @@ func main() {
 		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "live-session cap (LRU eviction beyond)")
 		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle-session eviction TTL; negative disables")
 		workers     = flag.Int("workers", 0, "step worker pool size; 0 = GOMAXPROCS")
+		parallel    = flag.Int("parallel", 0, "kernel worker-pool width: cores one commit's tile-parallel products may occupy; 0 = auto (GOMAXPROCS)")
 		queue       = flag.Int("queue", server.DefaultQueueDepth, "per-session pending-step queue depth")
 		certCache   = flag.Int("cert-cache", server.DefaultCertCacheSize, "certified-release cache capacity in entries, shared across sessions; 0 disables")
 		storeDir    = flag.String("store-dir", "", "session durability directory (WAL + snapshots); empty = in-memory only")
@@ -126,6 +129,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pristed: -workers must be >= 0 (0 = GOMAXPROCS)")
 		os.Exit(2)
 	}
+	if *parallel < 0 {
+		fmt.Fprintln(os.Stderr, "pristed: -parallel must be >= 0 (0 = auto)")
+		os.Exit(2)
+	}
 
 	cfg := server.DefaultConfig()
 	cfg.GridW, cfg.GridH = *gridN, *gridN
@@ -140,6 +147,7 @@ func main() {
 	cfg.MaxSessions = *maxSessions
 	cfg.SessionTTL = *sessionTTL
 	cfg.Workers = *workers
+	cfg.Parallelism = *parallel
 	cfg.QueueDepth = *queue
 	if *certCache <= 0 {
 		cfg.CertCacheSize = -1 // disable
@@ -255,6 +263,7 @@ func main() {
 		"mechanism", cfg.Mechanism,
 		"kernel", effectiveKernel(cfg),
 		"shadow", cfg.Shadow,
+		"parallel", effectiveParallelism(cfg),
 		"max_sessions", cfg.MaxSessions,
 		"queue_depth", cfg.QueueDepth,
 		"durability", durability,
@@ -289,4 +298,13 @@ func effectiveKernel(cfg server.Config) string {
 		return server.KernelAuto
 	}
 	return cfg.Kernel
+}
+
+// effectiveParallelism names the kernel-pool width the banner reports:
+// the forced width, or what auto resolves to right now.
+func effectiveParallelism(cfg server.Config) string {
+	if cfg.Parallelism > 0 {
+		return strconv.Itoa(cfg.Parallelism)
+	}
+	return fmt.Sprintf("auto (%d)", runtime.GOMAXPROCS(0))
 }

@@ -1,5 +1,7 @@
 package mat
 
+import "priste/internal/par"
+
 // Banded multiplication.
 //
 // Under a grid ordering the mobility kernels are spatially local, so a
@@ -47,8 +49,9 @@ func Bandwidth(a *Matrix) int {
 // bandwidth bBand (entries outside those bands must be exactly zero).
 // dst must not alias an operand; it is fully zeroed first, so entries
 // outside the product band come out as exact zeros — the same bits the
-// dense kernels produce for them. Rows split across CPUs above the
-// shared work cutoff; each dst row has a single writer.
+// dense kernels produce for them. Band strips (row tiles) split across
+// the shared pool above the work cutoff; each dst row has a single
+// writer, so the result is bit-deterministic at any parallelism.
 func MulBandInto(dst, a, b *Matrix, aBand, bBand int) {
 	if a.Cols != b.Rows {
 		panic("mat: MulBand inner dims mismatch")
@@ -60,11 +63,12 @@ func MulBandInto(dst, a, b *Matrix, aBand, bBand int) {
 		panic("mat: MulBandInto dst aliases an operand")
 	}
 	dst.Zero()
-	const parallelFlops = 1 << 24
 	flops := int64(a.Rows) * int64(2*aBand+1) * int64(2*bBand+1)
-	ParallelRows(a.Rows, flops, parallelFlops, func(lo, hi int) {
-		mulBandRows(dst, a, b, aBand, bBand, lo, hi)
-	})
+	if !par.Default().Parallel(a.Rows, flops, parallelFlops) {
+		mulBandRows(dst, a, b, aBand, bBand, 0, a.Rows)
+		return
+	}
+	par.Default().For(a.Rows, func(lo, hi int) { mulBandRows(dst, a, b, aBand, bBand, lo, hi) })
 }
 
 func mulBandRows(dst, a, b *Matrix, aBand, bBand, lo, hi int) {
@@ -115,15 +119,31 @@ func (a *Matrix) NNZ() int {
 	return n
 }
 
+// parallelVecFlops is the multiply-add count above which the banded
+// matvec splits its band strips across the pool: a matvec is memory-
+// bound, so the cutoff sits well below the matrix-product cutoffs.
+const parallelVecFlops = 1 << 18
+
 // MulVecBandInto computes dst = a·x for a with bandwidth band: each row
 // dot is restricted to the band columns. Bit-identical to
 // Matrix.MulVecInto on a matrix that respects the band (skipped terms
-// are exact +0 on non-negative x). dst must not alias x.
+// are exact +0 on non-negative x) — each dst element is one ascending-k
+// dot with a single writer, so parallel dispatch preserves bits too.
+// dst must not alias x.
 func MulVecBandInto(dst Vector, a *Matrix, x Vector, band int) {
 	if len(x) != a.Cols || len(dst) != a.Rows {
 		panic("mat: MulVecBand shape mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
+	if !par.Default().Parallel(a.Rows, int64(a.Rows)*int64(2*band+1), parallelVecFlops) {
+		mulVecBandRows(dst, a, x, band, 0, a.Rows)
+		return
+	}
+	par.Default().For(a.Rows, func(lo, hi int) { mulVecBandRows(dst, a, x, band, lo, hi) })
+}
+
+// mulVecBandRows computes dst[lo:hi] of the band-restricted matvec.
+func mulVecBandRows(dst Vector, a *Matrix, x Vector, band, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
 		k0, k1 := i-band, i+band
 		if k0 < 0 {

@@ -1,5 +1,7 @@
 package mat
 
+import "priste/internal/par"
+
 // Blocked dense multiplication.
 //
 // The Theorem IV.1 forward-operator updates are dense m×m products
@@ -24,10 +26,11 @@ package mat
 
 // MulABtInto computes dst = a·btᵀ, i.e. dst[i][j] = Σ_k a[i][k]·bt[j][k]
 // — the blocked form of MulInto(dst, a, b) for callers holding bᵀ. dst
-// must not alias a or bt and must have shape a.Rows × bt.Rows. Rows are
-// split across CPUs above the same work cutoff as MulInto; each output
-// row is produced by exactly one goroutine, so the result is
-// bit-deterministic under any split.
+// must not alias a or bt and must have shape a.Rows × bt.Rows. Row tiles
+// are split across the shared pool above the same work cutoff as
+// MulInto, with fixed tile boundaries and each output row produced by
+// exactly one goroutine, so the result is bit-deterministic at any
+// parallelism.
 func MulABtInto(dst, a, bt *Matrix) {
 	if a.Cols != bt.Cols {
 		panic("mat: MulABt inner dims mismatch")
@@ -38,10 +41,11 @@ func MulABtInto(dst, a, bt *Matrix) {
 	if sameBacking(dst.Data, a.Data) || sameBacking(dst.Data, bt.Data) {
 		panic("mat: MulABtInto dst aliases an operand")
 	}
-	const parallelFlops = 1 << 24
-	ParallelRows(a.Rows, int64(a.Rows)*int64(a.Cols)*int64(bt.Rows), parallelFlops, func(lo, hi int) {
-		mulABtRows(dst, a, bt, lo, hi)
-	})
+	if !par.Default().Parallel(a.Rows, int64(a.Rows)*int64(a.Cols)*int64(bt.Rows), parallelFlops) {
+		mulABtRows(dst, a, bt, 0, a.Rows)
+		return
+	}
+	par.Default().For(a.Rows, func(lo, hi int) { mulABtRows(dst, a, bt, lo, hi) })
 }
 
 // mulABtRows computes rows [lo,hi) of dst = a·btᵀ with a 4-row × 2-column

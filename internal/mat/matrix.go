@@ -3,9 +3,9 @@ package mat
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
+
+	"priste/internal/par"
 )
 
 // Matrix is a dense row-major matrix.
@@ -171,10 +171,15 @@ func (m *Matrix) Mul(n *Matrix) *Matrix {
 	return out
 }
 
+// parallelFlops is the dense multiply-add count above which the matrix
+// kernels fan tiles out through the shared worker pool; ~2·10⁷
+// multiply-adds amortise the fork-join dispatch comfortably.
+const parallelFlops = 1 << 24
+
 // MulInto computes dst = a·b. dst must not alias a or b and must have shape
 // a.Rows × b.Cols. The kernel is an i-k-j loop which is cache-friendly for
 // row-major storage; products large enough to matter (the 400-state maps
-// of the paper's experiments) are split row-wise across CPUs.
+// of the paper's experiments) are split row-wise across the shared pool.
 func MulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul inner dims %d vs %d", a.Cols, b.Rows))
@@ -185,11 +190,14 @@ func MulInto(dst, a, b *Matrix) {
 	if sameBacking(dst.Data, a.Data) || sameBacking(dst.Data, b.Data) {
 		panic("mat: MulInto dst aliases an operand")
 	}
-	// ~2·10⁷ multiply-adds amortise goroutine start-up comfortably.
-	const parallelFlops = 1 << 24
-	ParallelRows(a.Rows, int64(a.Rows)*int64(a.Cols)*int64(b.Cols), parallelFlops, func(lo, hi int) {
-		mulRows(dst, a, b, lo, hi)
-	})
+	// Branch before the closure literal: the serial path must not
+	// materialise a func value, keeping the hot multiply at 0 allocs/op
+	// (asserted by TestSerialKernelsZeroAlloc).
+	if !par.Default().Parallel(a.Rows, int64(a.Rows)*int64(a.Cols)*int64(b.Cols), parallelFlops) {
+		mulRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	par.Default().For(a.Rows, func(lo, hi int) { mulRows(dst, a, b, lo, hi) })
 }
 
 // mulRows computes rows [lo,hi) of dst = a·b.
@@ -217,15 +225,20 @@ func sameBacking(a, b []float64) bool {
 	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
 }
 
-// ParallelRows runs body over [0,rows), split across CPUs when the
-// multiply-add count reaches cutoff and serially otherwise. Each row is
-// produced by exactly one goroutine, so row-wise kernels stay
-// bit-deterministic regardless of the split.
+// ParallelRows runs body over [0,rows) through the shared par.Default()
+// pool when the multiply-add count reaches cutoff (and the pool has CPU
+// budget left), serially otherwise. Tile boundaries are a fixed function
+// of rows — independent of worker count — and each row is produced by
+// exactly one goroutine, so row-wise kernels stay bit-deterministic at
+// any parallelism. The body closure escapes; kernels that must keep an
+// allocation-free serial path branch on par.Default().Parallel
+// themselves before materialising one (see MulInto).
 func ParallelRows(rows int, flops, cutoff int64, body func(lo, hi int)) {
-	ParallelRowsMax(rows, flops, cutoff, func(lo, hi int) float64 {
-		body(lo, hi)
-		return 0
-	})
+	if !par.Default().Parallel(rows, flops, cutoff) {
+		body(0, rows)
+		return
+	}
+	par.Default().For(rows, body)
 }
 
 // ParallelRowsMax is ParallelRows for row-chunk bodies that also reduce
@@ -233,41 +246,10 @@ func ParallelRows(rows int, flops, cutoff int64, body func(lo, hi int)) {
 // of the per-chunk results. The reduction is exact, so the result does
 // not depend on the split.
 func ParallelRowsMax(rows int, flops, cutoff int64, body func(lo, hi int) float64) float64 {
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || rows <= 1 || flops < cutoff {
+	if !par.Default().Parallel(rows, flops, cutoff) {
 		return body(0, rows)
 	}
-	if workers > rows {
-		workers = rows
-	}
-	chunk := (rows + workers - 1) / workers
-	maxes := make([]float64, workers)
-	var wg sync.WaitGroup
-	used := 0
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		if lo >= hi {
-			break
-		}
-		used++
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			maxes[w] = body(lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	best := maxes[0]
-	for _, v := range maxes[1:used] {
-		if v > best {
-			best = v
-		}
-	}
-	return best
+	return par.Default().ForMax(rows, body)
 }
 
 // ScaleRowsMaxInto is ScaleRowsInto fused with a MaxAbs reduction over

@@ -1,6 +1,10 @@
 package mat
 
-import "fmt"
+import (
+	"fmt"
+
+	"priste/internal/par"
+)
 
 // CSR is a compressed-sparse-row matrix: each row stores its nonzero
 // values with strictly ascending column indices behind a row-pointer
@@ -175,9 +179,12 @@ func MulCSRInto(dst, a *Matrix, s *CSR) {
 	if sameBacking(dst.Data, a.Data) {
 		panic("mat: MulCSRInto dst aliases an operand")
 	}
-	ParallelRows(a.Rows, int64(a.Rows)*int64(s.NNZ()), parallelSparseFlops, func(lo, hi int) {
-		mulCSRRows(dst, a, s, lo, hi)
-	})
+	// Serial path stays closure-free: 0 allocs/op (see MulInto).
+	if !par.Default().Parallel(a.Rows, int64(a.Rows)*int64(s.NNZ()), parallelSparseFlops) {
+		mulCSRRows(dst, a, s, 0, a.Rows)
+		return
+	}
+	par.Default().For(a.Rows, func(lo, hi int) { mulCSRRows(dst, a, s, lo, hi) })
 }
 
 // mulCSRRows computes rows [lo,hi) of dst = a·s.
@@ -213,9 +220,11 @@ func (s *CSR) MulMatInto(dst, b *Matrix) {
 	if sameBacking(dst.Data, b.Data) {
 		panic("mat: CSR MulMatInto dst aliases an operand")
 	}
-	ParallelRows(s.rows, int64(s.NNZ())*int64(b.Cols), parallelSparseFlops, func(lo, hi int) {
-		s.mulMatRows(dst, b, lo, hi)
-	})
+	if !par.Default().Parallel(s.rows, int64(s.NNZ())*int64(b.Cols), parallelSparseFlops) {
+		s.mulMatRows(dst, b, 0, s.rows)
+		return
+	}
+	par.Default().For(s.rows, func(lo, hi int) { s.mulMatRows(dst, b, lo, hi) })
 }
 
 // mulMatRows computes rows [lo,hi) of dst = s·b.

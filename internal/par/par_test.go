@@ -1,0 +1,239 @@
+package par
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTileOf checks the tiling invariants the determinism argument rests
+// on: boundaries are a pure function of n, every index lands in exactly
+// one tile, and the tile count never exceeds maxTiles.
+func TestTileOf(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 63, 64, 65, 100, 127, 128, 400, 401, 4096, 9999} {
+		tile, tiles := tileOf(n)
+		if tiles > maxTiles {
+			t.Errorf("n=%d: tiles=%d exceeds maxTiles=%d", n, tiles, maxTiles)
+		}
+		if tile < 1 || tiles < 1 {
+			t.Fatalf("n=%d: degenerate tiling tile=%d tiles=%d", n, tile, tiles)
+		}
+		// The last tile must be non-empty and the tiles must cover [0,n).
+		covered := 0
+		for i := 0; i < tiles; i++ {
+			lo := i * tile
+			hi := lo + tile
+			if hi > n {
+				hi = n
+			}
+			if hi <= lo {
+				t.Errorf("n=%d: empty tile %d of %d", n, i, tiles)
+			}
+			covered += hi - lo
+		}
+		if covered != n {
+			t.Errorf("n=%d: tiles cover %d indices", n, covered)
+		}
+	}
+}
+
+// TestForCoversAllIndices runs For at several widths and checks every
+// index is visited exactly once — one accumulation chain per output.
+func TestForCoversAllIndices(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 7} {
+		for _, n := range []int{1, 5, 64, 65, 400, 1000} {
+			p := NewPool()
+			p.SetParallelism(width)
+			counts := make([]int32, n)
+			p.For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("width=%d n=%d: index %d visited %d times", width, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForMax checks the tile-max reduction against a serial scan.
+func TestForMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, width := range []int{1, 3, 8} {
+		p := NewPool()
+		p.SetParallelism(width)
+		n := 513
+		vals := make([]float64, n)
+		want := 0.0
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+			if vals[i] > want {
+				want = vals[i]
+			}
+		}
+		got := p.ForMax(n, func(lo, hi int) float64 {
+			best := 0.0
+			for i := lo; i < hi; i++ {
+				if vals[i] > best {
+					best = vals[i]
+				}
+			}
+			return best
+		})
+		if got != want {
+			t.Errorf("width=%d: ForMax=%v want %v", width, got, want)
+		}
+	}
+	p := NewPool()
+	if v := p.ForMax(0, func(lo, hi int) float64 { return 99 }); v != 0 {
+		t.Errorf("ForMax(0)=%v want 0", v)
+	}
+}
+
+// TestConcurrentFor drives many concurrent submitters through one pool —
+// the 64-sessions-one-budget shape — and checks isolation of their tasks.
+func TestConcurrentFor(t *testing.T) {
+	p := NewPool()
+	p.SetParallelism(4)
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			n := 100 + c*17
+			counts := make([]int32, n)
+			for rep := 0; rep < 20; rep++ {
+				for i := range counts {
+					counts[i] = 0
+				}
+				p.For(n, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+				for i, v := range counts {
+					if v != 1 {
+						errs <- "caller saw index visited != once"
+						_ = i
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestParallelGate checks every serial-dispatch condition: width 1,
+// single tile, flops below cutoff, and external load covering the width.
+func TestParallelGate(t *testing.T) {
+	p := NewPool()
+	p.SetParallelism(1)
+	if p.Parallel(100, 1<<30, 1) {
+		t.Error("width 1 should stay serial")
+	}
+	p.SetParallelism(4)
+	if p.Parallel(1, 1<<30, 1) {
+		t.Error("single-row kernels should stay serial")
+	}
+	if p.Parallel(100, 10, 1000) {
+		t.Error("below-cutoff kernels should stay serial")
+	}
+	if !p.Parallel(100, 1000, 1000) {
+		t.Error("at-cutoff kernels should dispatch")
+	}
+	p.AddExternal(4)
+	if p.Parallel(100, 1<<30, 1) {
+		t.Error("external load covering the width should force serial")
+	}
+	p.AddExternal(-1)
+	if !p.Parallel(100, 1<<30, 1) {
+		t.Error("external load below the width should allow dispatch")
+	}
+	p.AddExternal(-3)
+
+	st := p.Stats()
+	if st.SerialDispatch != 4 {
+		t.Errorf("serial dispatches = %d, want 4", st.SerialDispatch)
+	}
+}
+
+// TestCutoffOverride checks the test hook used by the equivalence tests
+// to force parallel dispatch on tiny matrices.
+func TestCutoffOverride(t *testing.T) {
+	p := NewPool()
+	p.SetParallelism(4)
+	if p.Parallel(8, 10, 1<<40) {
+		t.Fatal("tiny kernel dispatched without override")
+	}
+	p.SetCutoffOverride(1)
+	if !p.Parallel(8, 10, 1<<40) {
+		t.Error("override should replace the caller cutoff")
+	}
+	p.SetCutoffOverride(0)
+	if p.Parallel(8, 10, 1<<40) {
+		t.Error("clearing the override should restore the caller cutoff")
+	}
+}
+
+// TestStatsCounters checks the dispatch/steal accounting surfaced at
+// /statsz.
+func TestStatsCounters(t *testing.T) {
+	p := NewPool()
+	p.SetParallelism(4)
+	if st := p.Stats(); st.Parallelism != 4 {
+		t.Errorf("Parallelism = %d, want 4", st.Parallelism)
+	}
+	for rep := 0; rep < 50; rep++ {
+		p.For(256, func(lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			_ = s
+		})
+	}
+	st := p.Stats()
+	if st.ParallelDispatch != 50 {
+		t.Errorf("ParallelDispatch = %d, want 50", st.ParallelDispatch)
+	}
+	if st.Workers < 0 || st.Workers > maxWorkers {
+		t.Errorf("Workers = %d out of range", st.Workers)
+	}
+	if st.Steals < 0 {
+		t.Errorf("Steals = %d negative", st.Steals)
+	}
+	if st.Busy != 0 {
+		t.Errorf("Busy = %d after all joins", st.Busy)
+	}
+}
+
+// TestSetParallelismClamp checks negative widths clamp to auto.
+func TestSetParallelismClamp(t *testing.T) {
+	p := NewPool()
+	p.SetParallelism(-3)
+	if w := p.Parallelism(); w < 1 {
+		t.Errorf("Parallelism = %d after negative set, want >= 1 (GOMAXPROCS)", w)
+	}
+}
+
+// TestForZero checks the degenerate inputs.
+func TestForZero(t *testing.T) {
+	p := NewPool()
+	ran := false
+	p.For(0, func(lo, hi int) { ran = true })
+	p.For(-5, func(lo, hi int) { ran = true })
+	if ran {
+		t.Error("For on empty range ran its body")
+	}
+}

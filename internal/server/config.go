@@ -96,6 +96,15 @@ type Config struct {
 	// and without it, so it is not part of the plan key either.
 	Shadow bool
 
+	// Parallelism fixes the width of the process-global kernel worker
+	// pool the quantifier commits fan their tile-parallel products out
+	// on (`pristed -parallel`). 0 = auto: the pool tracks GOMAXPROCS.
+	// Parallel and serial kernels are bit-identical, so this never
+	// changes releases, fingerprints or replay — it only decides how
+	// many cores one commit may occupy when the drain workers leave
+	// budget free (see /statsz "pool").
+	Parallelism int
+
 	// MaxSessions caps live sessions; creating one more evicts the least
 	// recently used session. Default DefaultMaxSessions.
 	MaxSessions int
@@ -274,6 +283,9 @@ func (c Config) validate() error {
 	}
 	if _, err := c.kernelMode(); err != nil {
 		return err
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("server: parallelism must be >= 0, got %d", c.Parallelism)
 	}
 	if len(c.Events) == 0 {
 		return fmt.Errorf("server: at least one default event spec is required")

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"priste/internal/mat"
+	"priste/internal/par"
 	"priste/internal/qp"
 )
 
@@ -295,32 +296,43 @@ const maskFlopsCutoff = 1 << 17
 // forward blocks: A_F' = X·diag(1−ft) + Y·diag(1−tt), A_T' = X·diag(ft)
 // + Y·diag(tt), both column-scaled by the emission, and returns the
 // largest absolute entry written (fused so renormalisation needs no
-// second sweep of the operators). Rows are independent, so the split is
-// bit-deterministic; the max reduction is exact under any split.
+// second sweep of the operators). Row tiles go through the shared pool
+// with fixed boundaries and a single writer per row, so the split is
+// bit-deterministic; the max reduction is exact under any split. The
+// serial path materialises no closure (commit stays allocation-free).
 func (q *Quantifier) maskAndScale(ft, tt, emis mat.Vector) float64 {
 	m := q.md.m
-	return mat.ParallelRowsMax(m, 4*int64(m)*int64(m), maskFlopsCutoff, func(lo, hi int) float64 {
-		var best float64
-		for i := lo; i < hi; i++ {
-			xr := q.mx.Row(i)
-			yr := q.my.Row(i)
-			fr := q.af.Row(i)
-			trw := q.at.Row(i)
-			for j := 0; j < m; j++ {
-				f := (xr[j]*(1-ft[j]) + yr[j]*(1-tt[j])) * emis[j]
-				tr := (xr[j]*ft[j] + yr[j]*tt[j]) * emis[j]
-				fr[j] = f
-				trw[j] = tr
-				if f = math.Abs(f); f > best {
-					best = f
-				}
-				if tr = math.Abs(tr); tr > best {
-					best = tr
-				}
+	if !par.Default().Parallel(m, 4*int64(m)*int64(m), maskFlopsCutoff) {
+		return q.maskRows(ft, tt, emis, 0, m)
+	}
+	return par.Default().ForMax(m, func(lo, hi int) float64 {
+		return q.maskRows(ft, tt, emis, lo, hi)
+	})
+}
+
+// maskRows runs the fused mask+emission+max loop over rows [lo,hi).
+func (q *Quantifier) maskRows(ft, tt, emis mat.Vector, lo, hi int) float64 {
+	m := q.md.m
+	var best float64
+	for i := lo; i < hi; i++ {
+		xr := q.mx.Row(i)
+		yr := q.my.Row(i)
+		fr := q.af.Row(i)
+		trw := q.at.Row(i)
+		for j := 0; j < m; j++ {
+			f := (xr[j]*(1-ft[j]) + yr[j]*(1-tt[j])) * emis[j]
+			tr := (xr[j]*ft[j] + yr[j]*tt[j]) * emis[j]
+			fr[j] = f
+			trw[j] = tr
+			if f = math.Abs(f); f > best {
+				best = f
+			}
+			if tr = math.Abs(tr); tr > best {
+				best = tr
 			}
 		}
-		return best
-	})
+	}
+	return best
 }
 
 // FNV-1a parameters for the rolling history fingerprint.

@@ -26,6 +26,11 @@
 //	stats [-stages|-kernels]  service counters (-stages: per-transport stage
 //	                       table; -kernels: kernel/shadow dispatch table)
 //	health                 liveness probe
+//	fleet status           ring membership, health and per-backend session
+//	                       counts (target must be a pristerouter)
+//	fleet rebalance [-undrain] BACKEND
+//	                       drain a backend's sessions onto the rest of the
+//	                       fleet (or readmit it with -undrain); HTTP only
 //
 // Every command prints its response as JSON on stdout, so a migration is
 // a shell pipeline:
@@ -74,7 +79,7 @@ func main() {
 	rpcAddr := flag.String("rpc", "", "pristed RPC address (overrides -http when set)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-command timeout")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pristectl [-http URL | -rpc ADDR] <create|get|step|stream|watch|delete|list|export|import|stats|health> [args]")
+		fmt.Fprintln(os.Stderr, "usage: pristectl [-http URL | -rpc ADDR] <create|get|step|stream|watch|delete|list|export|import|stats|health|fleet> [args]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -143,6 +148,8 @@ func main() {
 		exit(info, err)
 	case "stats":
 		runStats(ctx, client, args)
+	case "fleet":
+		runFleet(ctx, client, *httpBase, *rpcAddr, args)
 	case "health":
 		if err := client.Health(ctx); err != nil {
 			fatalf("%v", err)
@@ -418,6 +425,76 @@ func runWatch(ctx context.Context, base string, args []string) {
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("%v", err)
+	}
+}
+
+// runFleet drives a pristerouter's fleet surface: `fleet status` renders
+// the ring membership table from the router's stats fleet section (any
+// transport), `fleet rebalance [-undrain] NAME` posts to the router's
+// /v1/fleet/rebalance admin route (HTTP only, like watch).
+func runFleet(ctx context.Context, client api.Client, httpBase, rpcAddr string, args []string) {
+	if len(args) < 1 {
+		fatalf("usage: fleet <status|rebalance> [args]")
+	}
+	switch sub, rest := args[0], args[1:]; sub {
+	case "status":
+		st, err := client.Stats(ctx)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fleet := st.Fleet
+		if fleet == nil {
+			fatalf("no fleet section in stats — is the target a pristerouter?")
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(tw, "BACKEND\tHEALTHY\tIN_RING\tDRAINING\tSESSIONS\tROUTES")
+		for _, m := range fleet.Members {
+			fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%d\t%d\n",
+				m.Name, m.Healthy, m.InRing, m.Draining, m.Sessions, m.Routes)
+		}
+		fmt.Fprintf(tw, "\nepoch\t%d\nvnodes\t%d\nmigrations\t%d ok / %d failed (%d started)\nmisroute_retries\t%d\nhealth_transitions\t%d\n",
+			fleet.Epoch, fleet.VirtualNodes,
+			fleet.MigrationsCompleted, fleet.MigrationsFailed, fleet.MigrationsStarted,
+			fleet.MisrouteRetries, fleet.HealthTransitions)
+		if err := tw.Flush(); err != nil {
+			fatalf("%v", err)
+		}
+	case "rebalance":
+		if rpcAddr != "" {
+			fatalf("fleet rebalance posts to the router's admin route and needs the HTTP transport (-http)")
+		}
+		fs := flag.NewFlagSet("fleet rebalance", flag.ExitOnError)
+		undrain := fs.Bool("undrain", false, "readmit the backend (reverse a drain) instead of draining it")
+		_ = fs.Parse(rest)
+		if fs.NArg() != 1 {
+			fatalf("usage: fleet rebalance [-undrain] BACKEND")
+		}
+		body, err := json.Marshal(map[string]any{"backend": fs.Arg(0), "undrain": *undrain})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			httpBase+"/v1/fleet/rebalance", strings.NewReader(string(body)))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if resp.StatusCode != http.StatusOK {
+			fatalf("rebalance: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		}
+		var rep any
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			fatalf("%v", err)
+		}
+		printJSON(rep)
+	default:
+		fatalf("unknown fleet subcommand %q (want status or rebalance)", sub)
 	}
 }
 

@@ -1,0 +1,208 @@
+// Command pristerouter is the PriSTE fleet router: a stateless front
+// door that shards sessions across a fleet of pristed backends with a
+// consistent-hash ring (internal/ring, internal/router) and serves the
+// exact same versioned API a single pristed does — any priste client
+// points at the router unchanged.
+//
+// Usage:
+//
+//	pristerouter -backend http://10.0.0.1:8377 -backend rpc://10.0.0.2:8378 \
+//	    [-addr :8377] [-rpc-addr ""] [-vnodes 128] \
+//	    [-probe-interval 1s] [-probe-timeout 2s] [-fail-after 3] [-readmit-after 2] \
+//	    [-migration-timeout 30s] [-call-timeout 30s] \
+//	    [-log-format text] [-log-level info]
+//
+// Each -backend names one pristed: an http:// base URL (the HTTP/JSON
+// transport) or an rpc://host:port address (the binary RPC transport).
+// The URL itself is the backend's ring identity, so keep it stable
+// across router restarts — placement is a pure function of the
+// identity set.
+//
+// Routing: session-scoped calls go to the session id's ring owner;
+// ListSessions and Stats fan out across the fleet and merge (the
+// router's /statsz carries a "fleet" section). Backends are
+// health-probed every -probe-interval, ejected from the ring after
+// -fail-after consecutive failures and readmitted (with their
+// minimal-movement session share migrated back) after -readmit-after
+// consecutive successes. On every ring change only the sessions in the
+// moved hash ranges are drained and re-homed through the export→import
+// path, fingerprint-verified before the old copy is tombstoned, with
+// in-flight steps parked (not failed) during each session's handoff.
+//
+// Admin surface, on top of the standard API routes:
+//
+//	GET  /v1/fleet            ring + per-backend health/session status
+//	POST /v1/fleet/rebalance  {"backend":"...","undrain":false} drain or
+//	                          readmit a member (see `pristectl fleet`)
+//	GET  /metricsz            priste_router_* metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"priste/internal/obs"
+	"priste/internal/ring"
+	"priste/internal/router"
+	"priste/internal/rpc"
+	"priste/internal/server"
+)
+
+// backendsFlag collects repeatable -backend values.
+type backendsFlag []string
+
+func (f *backendsFlag) String() string     { return strings.Join(*f, ",") }
+func (f *backendsFlag) Set(v string) error { *f = append(*f, v); return nil }
+
+// dialBackend turns one -backend value into a named api.Client.
+func dialBackend(spec string) (router.Backend, func(), error) {
+	switch {
+	case strings.HasPrefix(spec, "http://"), strings.HasPrefix(spec, "https://"):
+		return router.Backend{Name: spec, Client: server.NewClient(spec, nil)}, func() {}, nil
+	case strings.HasPrefix(spec, "rpc://"):
+		c, err := rpc.Dial(strings.TrimPrefix(spec, "rpc://"))
+		if err != nil {
+			return router.Backend{}, nil, err
+		}
+		return router.Backend{Name: spec, Client: c}, func() { _ = c.Close() }, nil
+	default:
+		return router.Backend{}, nil, fmt.Errorf("backend %q: want http://, https:// or rpc:// prefix", spec)
+	}
+}
+
+func main() {
+	var backends backendsFlag
+	var (
+		addr       = flag.String("addr", ":8377", "HTTP listen address")
+		rpcAddr    = flag.String("rpc-addr", "", "binary RPC listen address (e.g. :8378); empty disables the RPC transport")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per ring member; 0 = default (128)")
+		probeIval  = flag.Duration("probe-interval", time.Second, "backend health-probe cadence; negative disables probing")
+		probeTO    = flag.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
+		failAfter  = flag.Int("fail-after", 3, "consecutive failed probes before a backend is ejected from the ring")
+		readmit    = flag.Int("readmit-after", 2, "consecutive successful probes before an ejected backend is readmitted")
+		migTO      = flag.Duration("migration-timeout", 30*time.Second, "end-to-end timeout for one session migration")
+		callTO     = flag.Duration("call-timeout", 30*time.Second, "timeout for proxied calls that carry no caller deadline")
+		logFormat  = flag.String("log-format", obs.LogText, "structured log format: text or json")
+		logLevelFl = flag.String("log-level", "info", "log level: debug, info, warn or error")
+	)
+	flag.Var(&backends, "backend", "pristed backend, http://host:port or rpc://host:port (repeatable, required)")
+	flag.Parse()
+
+	if *logFormat != obs.LogText && *logFormat != obs.LogJSON {
+		fmt.Fprintln(os.Stderr, "pristerouter: -log-format must be text or json")
+		os.Exit(2)
+	}
+	level, err := obs.ParseLevel(*logLevelFl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pristerouter:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level)
+	if len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "pristerouter: at least one -backend is required")
+		os.Exit(2)
+	}
+
+	cfg := router.Config{
+		VirtualNodes:     *vnodes,
+		ProbeInterval:    *probeIval,
+		ProbeTimeout:     *probeTO,
+		FailAfter:        *failAfter,
+		ReadmitAfter:     *readmit,
+		MigrationTimeout: *migTO,
+		CallTimeout:      *callTO,
+		Logger:           logger,
+	}
+	var closers []func()
+	for _, spec := range backends {
+		b, closeFn, err := dialBackend(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pristerouter:", err)
+			os.Exit(2)
+		}
+		cfg.Backends = append(cfg.Backends, b)
+		closers = append(closers, closeFn)
+	}
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+
+	rt, err := router.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pristerouter:", err)
+		os.Exit(1)
+	}
+	defer rt.Shutdown()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The RPC transport is a second front-end over the same router: both
+	// are thin codecs over the shared api.Service.
+	var rpcSrv *rpc.Server
+	if *rpcAddr != "" {
+		lis, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pristerouter:", err)
+			os.Exit(1)
+		}
+		rpcSrv = rpc.NewServer(rt)
+		go func() {
+			if err := rpcSrv.Serve(lis); err != nil {
+				logger.Error("pristerouter: rpc listener failed", "err", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	banner := []any{
+		"http_addr", *addr,
+		"backends", len(cfg.Backends),
+		"vnodes", ringVnodes(*vnodes),
+		"probe_interval", probeIval.String(),
+		"fail_after", *failAfter,
+		"readmit_after", *readmit,
+	}
+	if *rpcAddr != "" {
+		banner = append(banner, "rpc_addr", *rpcAddr)
+	}
+	logger.Info("pristerouter: serving", banner...)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "pristerouter:", err)
+		os.Exit(1)
+	}
+	if rpcSrv != nil {
+		_ = rpcSrv.Close()
+	}
+	logger.Info("pristerouter: shut down")
+}
+
+// ringVnodes names the effective per-member point count for the banner.
+func ringVnodes(v int) int {
+	if v <= 0 {
+		return ring.DefaultVirtualNodes
+	}
+	return v
+}

@@ -17,6 +17,7 @@ func TestCodeMappingsRoundTrip(t *testing.T) {
 		CodeInvalidArgument, CodeNotFound, CodeAlreadyExists,
 		CodeSessionClosed, CodeResourceExhausted, CodeFailedPrecondition,
 		CodeUnavailable, CodeDeadlineExceeded, CodeInternal,
+		CodeWrongBackend,
 	}
 	seenStatus := map[int]Code{}
 	seenWire := map[byte]Code{}
@@ -52,6 +53,21 @@ func TestCodeMappingsRoundTrip(t *testing.T) {
 	}
 	if got := CodeFromWire(0xFF); got != CodeInternal {
 		t.Errorf("unmapped wire byte = %s, want internal", got)
+	}
+	// The misroute code renders as 421 Misdirected Request on HTTP and
+	// byte 10 on the RPC wire, and is the one code callers retry after
+	// re-resolving ownership.
+	if got := CodeWrongBackend.HTTPStatus(); got != http.StatusMisdirectedRequest {
+		t.Errorf("wrong_backend status = %d, want 421", got)
+	}
+	if got := CodeWrongBackend.Wire(); got != 10 {
+		t.Errorf("wrong_backend wire byte = %d, want 10", got)
+	}
+	if !RetryAfterReroute(Errf(CodeWrongBackend, "moved")) {
+		t.Error("wrong_backend not classified retryable-after-reroute")
+	}
+	if RetryAfterReroute(Errf(CodeNotFound, "gone")) || RetryAfterReroute(nil) {
+		t.Error("non-misroute classified retryable-after-reroute")
 	}
 }
 
@@ -128,15 +144,32 @@ func TestListNormalize(t *testing.T) {
 }
 
 func TestSessionExportValidate(t *testing.T) {
+	// Validate gates every import — including every migration the fleet
+	// router performs — so the edge cases matter beyond the happy path.
 	ok := SessionExport{Version: V1, World: "w", ID: "u", T: 1, Tags: []ReleaseTag{{Obs: 3}}}
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("valid export rejected: %v", err)
 	}
+	// Boundary acceptances: an id exactly at the cap, and a fresh
+	// zero-step session (T=0, no tags).
+	atCap := SessionExport{Version: V1, World: "w", ID: strings.Repeat("x", MaxSessionIDLen)}
+	if err := atCap.Validate(); err != nil {
+		t.Fatalf("id at MaxSessionIDLen rejected: %v", err)
+	}
+	fresh := SessionExport{Version: V1, World: "w", ID: "u"}
+	if err := fresh.Validate(); err != nil {
+		t.Fatalf("zero-step export rejected: %v", err)
+	}
 	for name, exp := range map[string]SessionExport{
-		"bad version":  {Version: 2, World: "w", ID: "u"},
-		"no id":        {Version: V1, World: "w"},
-		"no world":     {Version: V1, ID: "u"},
-		"tag mismatch": {Version: V1, World: "w", ID: "u", T: 2, Tags: []ReleaseTag{{}}},
+		"bad version":    {Version: 2, World: "w", ID: "u"},
+		"zero version":   {World: "w", ID: "u"},
+		"no id":          {Version: V1, World: "w"},
+		"oversized id":   {Version: V1, World: "w", ID: strings.Repeat("x", MaxSessionIDLen+1)},
+		"no world":       {Version: V1, ID: "u"},
+		"tag mismatch":   {Version: V1, World: "w", ID: "u", T: 2, Tags: []ReleaseTag{{}}},
+		"tags without t": {Version: V1, World: "w", ID: "u", T: 0, Tags: []ReleaseTag{{Obs: 1}}},
+		"t without tags": {Version: V1, World: "w", ID: "u", T: 3},
+		"negative t":     {Version: V1, World: "w", ID: "u", T: -1},
 	} {
 		if err := exp.Validate(); CodeOf(err) != CodeInvalidArgument {
 			t.Errorf("%s: err = %v, want invalid_argument", name, err)

@@ -39,6 +39,14 @@ const (
 	CodeDeadlineExceeded Code = "deadline_exceeded"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal Code = "internal"
+	// CodeWrongBackend: the request reached a backend that does not own
+	// the session — the caller raced a fleet ring change (a rebalance,
+	// ejection or readmission moved the session's hash range). The error
+	// is retryable after re-resolving ownership: the session still
+	// exists, just somewhere else. The fleet router retries these
+	// internally (see internal/router); it renders as HTTP 421
+	// Misdirected Request.
+	CodeWrongBackend Code = "wrong_backend"
 )
 
 // codes lists every canonical code with its HTTP status and RPC wire
@@ -58,6 +66,7 @@ var codes = []struct {
 	{CodeUnavailable, http.StatusServiceUnavailable, 7},
 	{CodeDeadlineExceeded, http.StatusGatewayTimeout, 8},
 	{CodeInternal, http.StatusInternalServerError, 9},
+	{CodeWrongBackend, http.StatusMisdirectedRequest, 10},
 }
 
 // Valid reports whether c is a canonical code.
@@ -164,4 +173,15 @@ func CodeOf(err error) Code {
 		return ""
 	}
 	return ErrorOf(err).Code
+}
+
+// RetryAfterReroute reports whether err is a misroute — a typed
+// CodeWrongBackend error, as both transports' clients reconstruct from
+// HTTP 421 / RPC error byte 10 — meaning the session exists but lives
+// on a different backend than the one addressed. Callers holding a ring
+// (the fleet router, a ring-aware client) should re-resolve the
+// session's owner and retry; callers without one should treat it as
+// retryable against the router, which re-resolves internally.
+func RetryAfterReroute(err error) bool {
+	return CodeOf(err) == CodeWrongBackend
 }

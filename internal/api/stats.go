@@ -17,6 +17,43 @@ type Stats struct {
 	Scheduler  SchedulerStats  `json:"scheduler"`
 	Pool       PoolStats       `json:"pool"`
 	Runtime    RuntimeStats    `json:"runtime"`
+	// Fleet is the router's fleet section: present only on the /statsz
+	// document of a pristerouter (internal/router), where Sessions and
+	// Steps above are sums over the reachable backends. Plain pristed
+	// instances leave it nil.
+	Fleet *FleetStats `json:"fleet,omitempty"`
+}
+
+// FleetStats is the router's /statsz fleet section: the consistent-hash
+// ring state, the per-backend membership/health/routing breakdown, and
+// the rebalancing counters. Epoch increments on every ring change
+// (ejection, readmission, operator drain); MisrouteRetries counts
+// requests the router re-routed internally after racing a ring change
+// (the CodeWrongBackend path).
+type FleetStats struct {
+	Epoch               int64              `json:"epoch"`
+	VirtualNodes        int                `json:"virtual_nodes"`
+	Members             []FleetMemberStats `json:"members"`
+	HealthTransitions   int64              `json:"health_transitions"`
+	MigrationsStarted   int64              `json:"migrations_started"`
+	MigrationsCompleted int64              `json:"migrations_completed"`
+	MigrationsFailed    int64              `json:"migrations_failed"`
+	MisrouteRetries     int64              `json:"misroute_retries"`
+}
+
+// FleetMemberStats is one backend's row in the fleet section. Sessions
+// is the backend's live-session count from its last reachable stats
+// fan-out (0 when it has never been reachable); Routes counts requests
+// this router sent it over its lifetime. A member can be healthy but
+// out of the ring (operator-drained, or not yet readmitted) — InRing is
+// what routing actually uses.
+type FleetMemberStats struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	InRing   bool   `json:"in_ring"`
+	Draining bool   `json:"draining"`
+	Sessions int64  `json:"sessions"`
+	Routes   int64  `json:"routes"`
 }
 
 // PoolStats is the /statsz kernel-worker-pool section (internal/par):

@@ -1,0 +1,184 @@
+// Package ring implements the consistent-hash ring the fleet router
+// places sessions with: every member contributes a fixed number of
+// virtual nodes (points on a 64-bit hash circle), and a session id is
+// owned by the member whose point follows the id's hash clockwise.
+//
+// Two properties make the ring fit for live rebalancing:
+//
+//   - Placement is deterministic: ownership is a pure function of the
+//     member set — not of insertion order, process identity or time —
+//     so every router (and every restart of one) resolves the same
+//     session to the same backend, and a member that leaves and
+//     returns reclaims exactly its old ranges.
+//   - Movement is minimal: adding a member moves only the keys whose
+//     owning arc the new member's points split (roughly 1/n of the
+//     keyspace, spread across all members), and removing one moves
+//     only the keys it owned. No key ever moves between two members
+//     that were both present before and after the change — the
+//     property the router's drain/re-home path relies on to migrate
+//     only affected sessions.
+//
+// Rings are immutable: With/Without return new rings sharing nothing
+// mutable, so a router can publish one atomically and keep the previous
+// ring around as the fallback location of sessions a rebalance is still
+// moving.
+package ring
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-member point count used when a Ring is
+// built with vnodes <= 0. 128 points per member keeps the ownership
+// imbalance across a small fleet within a few tens of percent of even —
+// tight enough for session placement — while membership changes stay
+// O(n·vnodes·log) rebuilds of a few-KB slice.
+const DefaultVirtualNodes = 128
+
+// point is one virtual node: a position on the hash circle and the
+// member that owns the arc ending there.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over a set of named
+// members. The zero value is unusable; build rings with New.
+type Ring struct {
+	vnodes  int
+	points  []point  // sorted by (hash, member)
+	members []string // sorted member names
+}
+
+// New returns a ring with vnodes virtual nodes per member (vnodes <= 0
+// uses DefaultVirtualNodes) containing the given members. Duplicate
+// member names collapse to one.
+func New(vnodes int, members ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	set := make(map[string]bool, len(members))
+	for _, m := range members {
+		set[m] = true
+	}
+	names := make([]string, 0, len(set))
+	for m := range set {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return build(vnodes, names)
+}
+
+// build constructs the sorted point slice for a sorted member list.
+func build(vnodes int, names []string) *Ring {
+	r := &Ring{vnodes: vnodes, members: names, points: make([]point, 0, vnodes*len(names))}
+	for _, m := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hashPoint(m, v), member: m})
+		}
+	}
+	// Ties (two members hashing a point to the same position) are broken
+	// by member name so ownership never depends on construction order.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// hashPoint positions one virtual node. FNV-1a is stable across
+// processes and Go versions — a requirement here, since every router
+// instance must agree on placement.
+func hashPoint(member string, vnode int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(member))
+	_, _ = h.Write([]byte{'#'})
+	_, _ = h.Write([]byte(strconv.Itoa(vnode)))
+	return mix(h.Sum64())
+}
+
+// hashKey positions a session id on the circle.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return mix(h.Sum64())
+}
+
+// mix is a 64-bit finalizer (MurmurHash3 fmix64). Raw FNV-1a has weak
+// avalanche on trailing bytes: ids sharing a prefix and differing only
+// in their last characters ("user-1", "user-2", ...) hash within ~2^40
+// of each other — adjacent on a 2^64 circle, so whole families of ids
+// would land in one member's arc. The finalizer spreads every input bit
+// across the word, restoring uniform placement for exactly the id
+// shapes callers pick by hand.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the member owning key, or ok=false on an empty ring.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hashKey(key)
+	// First point at or after h, wrapping to the first point past the
+	// top of the circle.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member, true
+}
+
+// With returns a ring additionally containing member; the receiver is
+// unchanged. Adding a present member returns the receiver.
+func (r *Ring) With(member string) *Ring {
+	if r.Has(member) {
+		return r
+	}
+	names := make([]string, 0, len(r.members)+1)
+	names = append(names, r.members...)
+	names = append(names, member)
+	sort.Strings(names)
+	return build(r.vnodes, names)
+}
+
+// Without returns a ring with member removed; the receiver is
+// unchanged. Removing an absent member returns the receiver.
+func (r *Ring) Without(member string) *Ring {
+	if !r.Has(member) {
+		return r
+	}
+	names := make([]string, 0, len(r.members)-1)
+	for _, m := range r.members {
+		if m != member {
+			names = append(names, m)
+		}
+	}
+	return build(r.vnodes, names)
+}
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	return i < len(r.members) && r.members[i] == member
+}
+
+// Members returns the sorted member names. The caller must not mutate
+// the returned slice.
+func (r *Ring) Members() []string { return r.members }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// VirtualNodes returns the per-member point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }

@@ -1,0 +1,187 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// keys returns n deterministic pseudo-session ids.
+func keys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("sess-%016x", rng.Uint64())
+	}
+	return out
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(0)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if r.Len() != 0 || len(r.Members()) != 0 {
+		t.Fatalf("empty ring has members: %v", r.Members())
+	}
+	if r.VirtualNodes() != DefaultVirtualNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.VirtualNodes(), DefaultVirtualNodes)
+	}
+}
+
+// TestDeterministicPlacement: ownership is a pure function of the
+// member set — independent of construction order, of the path taken
+// (New vs With/Without), and stable across repeated lookups.
+func TestDeterministicPlacement(t *testing.T) {
+	a := New(64, "alpha", "beta", "gamma")
+	b := New(64, "gamma", "alpha", "beta")
+	c := New(64, "alpha", "beta").With("gamma")
+	d := New(64, "alpha", "beta", "gamma", "delta").Without("delta")
+	for _, k := range keys(2000) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		oc, _ := c.Owner(k)
+		od, _ := d.Owner(k)
+		if oa != ob || oa != oc || oa != od {
+			t.Fatalf("placement of %q depends on construction: %s/%s/%s/%s", k, oa, ob, oc, od)
+		}
+	}
+	if o1, _ := a.Owner("sess-x"); func() bool { o2, _ := a.Owner("sess-x"); return o1 != o2 }() {
+		t.Fatal("repeated lookup unstable")
+	}
+}
+
+// TestMinimalMovementAdd: adding a member moves keys only TO the new
+// member — no key moves between two members present in both rings.
+// This is the acceptance property: a ring membership change moves only
+// sessions in the affected hash ranges.
+func TestMinimalMovementAdd(t *testing.T) {
+	before := New(64, "alpha", "beta", "gamma")
+	after := before.With("delta")
+	moved := 0
+	for _, k := range keys(5000) {
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "delta" {
+			t.Fatalf("key %q moved %s -> %s, not to the added member", k, ob, oa)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("adding a member moved nothing — vnodes not taking ownership")
+	}
+	// Roughly 1/4 of keys should move to the 4th member; allow wide slack.
+	if moved > 5000/2 {
+		t.Fatalf("adding one member moved %d/5000 keys — far more than its share", moved)
+	}
+}
+
+// TestMinimalMovementRemove: removing a member moves keys only FROM the
+// removed member; everyone else's keys stay put.
+func TestMinimalMovementRemove(t *testing.T) {
+	before := New(64, "alpha", "beta", "gamma", "delta")
+	after := before.Without("beta")
+	moved := 0
+	for _, k := range keys(5000) {
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if ob != "beta" {
+			t.Fatalf("key %q moved %s -> %s though %s stayed on the ring", k, ob, oa, ob)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removing a member moved nothing")
+	}
+}
+
+// TestRemoveThenReadd: a member that leaves and returns reclaims
+// exactly its old ranges (ownership equals the original ring's).
+func TestRemoveThenReadd(t *testing.T) {
+	orig := New(64, "alpha", "beta", "gamma")
+	roundtrip := orig.Without("beta").With("beta")
+	for _, k := range keys(2000) {
+		o1, _ := orig.Owner(k)
+		o2, _ := roundtrip.Owner(k)
+		if o1 != o2 {
+			t.Fatalf("key %q: %s before, %s after leave+rejoin", k, o1, o2)
+		}
+	}
+}
+
+// TestImmutability: With/Without leave the receiver untouched, and
+// no-op changes return the receiver itself.
+func TestImmutability(t *testing.T) {
+	r := New(64, "alpha", "beta")
+	_ = r.With("gamma")
+	_ = r.Without("alpha")
+	if r.Len() != 2 || !r.Has("alpha") || !r.Has("beta") || r.Has("gamma") {
+		t.Fatalf("receiver mutated: %v", r.Members())
+	}
+	if r.With("alpha") != r {
+		t.Error("adding a present member did not return the receiver")
+	}
+	if r.Without("nope") != r {
+		t.Error("removing an absent member did not return the receiver")
+	}
+	if New(64, "a", "a", "a").Len() != 1 {
+		t.Error("duplicate members not collapsed")
+	}
+}
+
+// TestBalance: with DefaultVirtualNodes, no member of a 5-member ring
+// owns a wildly disproportionate share of keys.
+func TestBalance(t *testing.T) {
+	r := New(DefaultVirtualNodes, "n0", "n1", "n2", "n3", "n4")
+	counts := map[string]int{}
+	const n = 20000
+	for _, k := range keys(n) {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	want := n / 5
+	for m, c := range counts {
+		if c < want/3 || c > want*3 {
+			t.Errorf("member %s owns %d/%d keys (expected near %d)", m, c, n, want)
+		}
+	}
+	if len(counts) != 5 {
+		t.Errorf("only %d/5 members own keys", len(counts))
+	}
+}
+
+// TestSequentialKeysSpread: ids that share a prefix and differ only in
+// a trailing counter — the shape human callers pick — must still spread
+// across members. Raw FNV-1a clusters such ids on one arc; the fmix64
+// finalizer is what keeps this property.
+func TestSequentialKeysSpread(t *testing.T) {
+	r := New(64, "n0", "n1", "n2")
+	counts := map[string]int{}
+	for i := 0; i < 60; i++ {
+		o, _ := r.Owner(fmt.Sprintf("user-%02d", i))
+		counts[o]++
+	}
+	if len(counts) < 3 {
+		t.Fatalf("sequential ids cluster: %v", counts)
+	}
+	for m, c := range counts {
+		if c > 45 {
+			t.Fatalf("member %s owns %d/60 sequential ids: %v", m, c, counts)
+		}
+	}
+}
+
+func TestSingleMember(t *testing.T) {
+	r := New(8, "solo")
+	for _, k := range keys(100) {
+		if o, ok := r.Owner(k); !ok || o != "solo" {
+			t.Fatalf("Owner(%q) = %s,%v", k, o, ok)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package router
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// probeLoop health-checks the fleet every ProbeInterval until Shutdown.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.closed:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll probes every backend in parallel, then applies the
+// hysteresis transitions serially. The consecutive-outcome counters are
+// only ever touched here (one probeAll at a time: the loop is a single
+// goroutine and tests call it directly), so they need no locking; the
+// per-probe goroutines write only their own backend's lastProbeOK, and
+// the WaitGroup orders those writes before the serial pass reads them.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, name := range rt.order {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+			defer cancel()
+			b.lastProbeOK = b.client.Health(ctx) == nil
+		}(rt.backends[name])
+	}
+	wg.Wait()
+	for _, name := range rt.order {
+		b := rt.backends[name]
+		if b.lastProbeOK {
+			b.consecOK++
+			b.consecFail = 0
+		} else {
+			b.consecFail++
+			b.consecOK = 0
+		}
+		switch {
+		case b.healthy.Load() && b.consecFail >= rt.cfg.FailAfter:
+			rt.transition(b, false)
+		case !b.healthy.Load() && b.consecOK >= rt.cfg.ReadmitAfter:
+			rt.transition(b, true)
+		}
+	}
+}
+
+// transition flips a backend's health state and schedules the ring
+// consequence in the background: ejection removes the member from the
+// ring without moving data (the member is presumed dead — its sessions
+// reappear when it does, or are re-created elsewhere), readmission
+// re-adds it and pulls its minimal-movement session set back. The ring
+// work runs in a goroutine because re-homing takes rebalanceMu and can
+// be slow, and the probe loop must keep its cadence; the goroutine
+// re-checks state under the lock, so stale duplicates are no-ops.
+func (rt *Router) transition(b *backend, healthy bool) {
+	b.healthy.Store(healthy)
+	rt.healthTransitions.Add(1)
+	rt.metrics.observeTransition(b.name, healthy)
+	rt.logger.Warn("router: backend health changed",
+		"backend", b.name, "healthy", healthy)
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		rt.rebalanceMu.Lock()
+		defer rt.rebalanceMu.Unlock()
+		cur := rt.ringPtr.Load()
+		switch {
+		case !healthy && !b.healthy.Load() && cur.Has(b.name):
+			if cur.Len() == 1 {
+				// Never empty the ring: a fleet-wide blip would orphan
+				// every session id. Requests will fail against the dead
+				// member until something comes back.
+				rt.logger.Warn("router: not ejecting last in-ring backend", "backend", b.name)
+				return
+			}
+			rt.setRing(cur.Without(b.name))
+		case healthy && b.healthy.Load() && !b.draining.Load() && !cur.Has(b.name):
+			rt.setRing(cur.With(b.name))
+			rep := rt.rehomeTo(b)
+			rt.logger.Info("router: readmission rehome complete",
+				"backend", b.name, "moved", rep.Moved, "failed", rep.Failed)
+		}
+	}()
+}

@@ -1,0 +1,102 @@
+package router
+
+import (
+	"time"
+
+	"priste/internal/obs"
+)
+
+// routerMetrics is the router's /metricsz surface: the priste_router_*
+// family, plus the shared Go-runtime gauges. Per-backend series are
+// pre-registered at construction (the member set is fixed), so the hot
+// path only bumps counters.
+type routerMetrics struct {
+	reg *obs.Registry
+
+	routes          map[string]*obs.Counter
+	transitions     map[string]*obs.Counter
+	misrouteRetries *obs.Counter
+	migStarted      *obs.Counter
+	migCompleted    *obs.Counter
+	migFailed       *obs.Counter
+	requestSeconds  *obs.Histogram
+	stepSeconds     *obs.Histogram
+}
+
+func newRouterMetrics(rt *Router) *routerMetrics {
+	reg := obs.NewRegistry()
+	m := &routerMetrics{
+		reg:         reg,
+		routes:      make(map[string]*obs.Counter, len(rt.order)),
+		transitions: make(map[string]*obs.Counter, len(rt.order)),
+	}
+	for _, name := range rt.order {
+		b := rt.backends[name]
+		lbl := obs.Label{Key: "backend", Value: name}
+		m.routes[name] = reg.Counter("priste_router_routes_total",
+			"Requests routed to the backend.", lbl)
+		m.transitions[name] = reg.Counter("priste_router_health_transitions_total",
+			"Health state flips observed for the backend.", lbl)
+		reg.GaugeFunc("priste_router_backend_healthy",
+			"1 while the backend passes health probes.",
+			func() float64 {
+				if b.healthy.Load() {
+					return 1
+				}
+				return 0
+			}, lbl)
+		reg.GaugeFunc("priste_router_backend_in_ring",
+			"1 while the backend is in the routing ring.",
+			func() float64 {
+				if b.inRing.Load() {
+					return 1
+				}
+				return 0
+			}, lbl)
+		reg.GaugeFunc("priste_router_backend_sessions",
+			"Live sessions on the backend at the last reachable stats fan-out.",
+			func() float64 { return float64(b.sessions.Load()) }, lbl)
+	}
+	m.misrouteRetries = reg.Counter("priste_router_misroute_retries_total",
+		"Requests retried against the previous ring owner after a misroute.")
+	m.migStarted = reg.Counter("priste_router_migrations_started_total",
+		"Session migrations started.")
+	m.migCompleted = reg.Counter("priste_router_migrations_completed_total",
+		"Session migrations completed (fingerprint-verified, source tombstoned).")
+	m.migFailed = reg.Counter("priste_router_migrations_failed_total",
+		"Session migrations failed (source copy kept authoritative).")
+	m.requestSeconds = reg.Histogram("priste_router_request_seconds",
+		"End-to-end routed HTTP request latency.")
+	m.stepSeconds = reg.Histogram("priste_router_step_seconds",
+		"End-to-end routed step latency.")
+	reg.GaugeFunc("priste_router_ring_epoch",
+		"Ring epoch; increments on every membership change.",
+		func() float64 { return float64(rt.epoch.Load()) })
+	reg.GaugeFunc("priste_router_ring_members",
+		"Backends currently in the routing ring.",
+		func() float64 { return float64(rt.ringPtr.Load().Len()) })
+	obs.RegisterRuntime(reg)
+	return m
+}
+
+func (m *routerMetrics) observeRoute(backend string) {
+	if c := m.routes[backend]; c != nil {
+		c.Add(1)
+	}
+}
+
+func (m *routerMetrics) observeRouteN(backend string, n int64) {
+	if c := m.routes[backend]; c != nil {
+		c.Add(n)
+	}
+}
+
+func (m *routerMetrics) observeTransition(backend string, _ bool) {
+	if c := m.transitions[backend]; c != nil {
+		c.Add(1)
+	}
+}
+
+func (m *routerMetrics) observeStep(total time.Duration) {
+	m.stepSeconds.Observe(total)
+}

@@ -1,0 +1,232 @@
+package router
+
+import (
+	"context"
+	"fmt"
+
+	"priste/internal/api"
+	"priste/internal/ring"
+)
+
+// RebalanceReport summarises one drain/re-home pass.
+type RebalanceReport struct {
+	// Backend is the member the pass targeted.
+	Backend string `json:"backend"`
+	// Moved counts sessions migrated (fingerprint-verified) and Failed
+	// sessions whose migration failed — those stay on their source
+	// backend and keep serving through the previous-ring fallback.
+	Moved  int `json:"moved"`
+	Failed int `json:"failed"`
+	// Epoch is the ring epoch after the pass.
+	Epoch int64 `json:"epoch"`
+}
+
+// setRing publishes next as the current ring, keeping the old ring as
+// the misroute fallback, and bumps the epoch. Callers must hold
+// rebalanceMu.
+func (rt *Router) setRing(next *ring.Ring) {
+	cur := rt.ringPtr.Load()
+	rt.prevPtr.Store(cur)
+	rt.ringPtr.Store(next)
+	epoch := rt.epoch.Add(1)
+	for name, b := range rt.backends {
+		b.inRing.Store(next.Has(name))
+	}
+	rt.logger.Info("router: ring changed",
+		"epoch", epoch, "members", next.Members())
+}
+
+// migrate moves one session from src to dst through the export→import
+// path, holding the session's migration lock exclusively: in-flight
+// requests drain first, new ones park until the handoff completes. The
+// copy on dst is re-exported and its fingerprint and step count are
+// verified bit-for-bit against the source export before the source
+// copy is tombstoned; on any failure the source copy stays
+// authoritative (a half-imported dst copy is deleted).
+func (rt *Router) migrate(id string, src, dst *backend) error {
+	l := rt.acquire(id)
+	l.mu.Lock()
+	defer func() {
+		l.mu.Unlock()
+		rt.release(id, l)
+	}()
+	rt.migStarted.Add(1)
+	rt.metrics.migStarted.Add(1)
+	err := rt.migrateLocked(id, src, dst)
+	if err != nil {
+		rt.migFailed.Add(1)
+		rt.metrics.migFailed.Add(1)
+		rt.logger.Warn("router: migration failed",
+			"session", id, "from", src.name, "to", dst.name, "err", err)
+		return err
+	}
+	rt.migCompleted.Add(1)
+	rt.metrics.migCompleted.Add(1)
+	rt.logger.Info("router: session migrated",
+		"session", id, "from", src.name, "to", dst.name)
+	return nil
+}
+
+func (rt *Router) migrateLocked(id string, src, dst *backend) error {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.MigrationTimeout)
+	defer cancel()
+	exp, err := src.client.ExportSession(ctx, id)
+	if err != nil {
+		return fmt.Errorf("export from %s: %w", src.name, err)
+	}
+	if err := exp.Validate(); err != nil {
+		return fmt.Errorf("export of %s invalid: %w", id, err)
+	}
+	if _, err := dst.client.ImportSession(ctx, exp); err != nil {
+		return fmt.Errorf("import to %s: %w", dst.name, err)
+	}
+	// Verify the landed copy before tombstoning the source: re-export
+	// from dst and require the identical history fingerprint and length.
+	chk, err := dst.client.ExportSession(ctx, id)
+	if err != nil || chk.Fingerprint != exp.Fingerprint || chk.T != exp.T {
+		_ = dst.client.DeleteSession(ctx, id)
+		if err == nil {
+			err = fmt.Errorf("fingerprint mismatch (src %x/t=%d, dst %x/t=%d)",
+				exp.Fingerprint, exp.T, chk.Fingerprint, chk.T)
+		}
+		return fmt.Errorf("verify on %s: %w", dst.name, err)
+	}
+	if err := src.client.DeleteSession(ctx, id); err != nil {
+		// The dst copy is verified and the ring already points at it;
+		// the stale source copy is shadowed and only wastes memory.
+		rt.logger.Warn("router: tombstone of migrated source copy failed",
+			"session", id, "backend", src.name, "err", err)
+	}
+	return nil
+}
+
+// listAll pages through every session on b.
+func (rt *Router) listAll(b *backend) ([]string, error) {
+	var ids []string
+	req := api.ListSessionsRequest{Limit: api.MaxListLimit}
+	for {
+		ctx, cancel := rt.callCtx()
+		page, err := b.client.ListSessions(ctx, req)
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range page.Sessions {
+			ids = append(ids, s.ID)
+		}
+		if page.NextCursor == "" {
+			return ids, nil
+		}
+		req.Cursor = page.NextCursor
+	}
+}
+
+// rehomeFrom migrates every session still living on src whose current
+// ring owner is some other backend. Callers must hold rebalanceMu (so
+// the ring is stable for the whole pass).
+func (rt *Router) rehomeFrom(src *backend) RebalanceReport {
+	rep := RebalanceReport{Backend: src.name, Epoch: rt.epoch.Load()}
+	ids, err := rt.listAll(src)
+	if err != nil {
+		rt.logger.Warn("router: rehome list failed", "backend", src.name, "err", err)
+		return rep
+	}
+	r := rt.ringPtr.Load()
+	for _, id := range ids {
+		owner, ok := r.Owner(id)
+		if !ok || owner == src.name {
+			continue
+		}
+		if rt.migrate(id, src, rt.backends[owner]) != nil {
+			rep.Failed++
+		} else {
+			rep.Moved++
+		}
+	}
+	return rep
+}
+
+// rehomeTo migrates onto dst every session that the current ring
+// assigns to dst but that lives on another in-ring backend — the
+// minimal-movement set of a readmission. Callers must hold rebalanceMu.
+func (rt *Router) rehomeTo(dst *backend) RebalanceReport {
+	rep := RebalanceReport{Backend: dst.name, Epoch: rt.epoch.Load()}
+	r := rt.ringPtr.Load()
+	for _, name := range rt.order {
+		src := rt.backends[name]
+		if src == dst || !src.inRing.Load() {
+			continue
+		}
+		ids, err := rt.listAll(src)
+		if err != nil {
+			rt.logger.Warn("router: rehome list failed", "backend", src.name, "err", err)
+			rep.Failed++
+			continue
+		}
+		for _, id := range ids {
+			if owner, ok := r.Owner(id); !ok || owner != dst.name {
+				continue
+			}
+			if rt.migrate(id, src, dst) != nil {
+				rep.Failed++
+			} else {
+				rep.Moved++
+			}
+		}
+	}
+	return rep
+}
+
+// Drain removes the named backend from the ring and re-homes every
+// session it holds onto the remaining members, leaving the backend
+// healthy but out of rotation (the probe loop will not readmit a
+// drained member; Undrain reverses). Draining the last in-ring backend
+// is refused.
+func (rt *Router) Drain(name string) (RebalanceReport, error) {
+	rt.rebalanceMu.Lock()
+	defer rt.rebalanceMu.Unlock()
+	b := rt.backends[name]
+	if b == nil {
+		return RebalanceReport{}, api.Errf(api.CodeNotFound,
+			fmt.Sprintf("router: unknown backend %q", name))
+	}
+	cur := rt.ringPtr.Load()
+	if cur.Has(name) && cur.Len() == 1 {
+		return RebalanceReport{}, api.Errf(api.CodeFailedPrecondition,
+			"router: refusing to drain the last in-ring backend")
+	}
+	b.draining.Store(true)
+	if cur.Has(name) {
+		rt.setRing(cur.Without(name))
+	}
+	rep := rt.rehomeFrom(b)
+	rep.Epoch = rt.epoch.Load()
+	rt.logger.Info("router: drain complete",
+		"backend", name, "moved", rep.Moved, "failed", rep.Failed)
+	return rep, nil
+}
+
+// Undrain clears the named backend's drain flag and, if it is healthy,
+// re-adds it to the ring and pulls its minimal-movement session set
+// back onto it.
+func (rt *Router) Undrain(name string) (RebalanceReport, error) {
+	rt.rebalanceMu.Lock()
+	defer rt.rebalanceMu.Unlock()
+	b := rt.backends[name]
+	if b == nil {
+		return RebalanceReport{}, api.Errf(api.CodeNotFound,
+			fmt.Sprintf("router: unknown backend %q", name))
+	}
+	b.draining.Store(false)
+	rep := RebalanceReport{Backend: name, Epoch: rt.epoch.Load()}
+	cur := rt.ringPtr.Load()
+	if !b.healthy.Load() || cur.Has(name) {
+		return rep, nil
+	}
+	rt.setRing(cur.With(name))
+	rep = rt.rehomeTo(b)
+	rep.Epoch = rt.epoch.Load()
+	rt.logger.Info("router: undrain complete",
+		"backend", name, "moved", rep.Moved, "failed", rep.Failed)
+	return rep, nil
+}

@@ -259,6 +259,11 @@ func appendErrResp(buf []byte, err error) []byte {
 }
 
 // parseErrResp decodes an opError body into the typed client error.
+// The wire byte is the canonical code table's append-only numbering
+// (api.Code.Wire), so new codes round-trip with no protocol change:
+// byte 10 reconstructs api.CodeWrongBackend, which callers classify as
+// retryable-after-reroute via api.RetryAfterReroute — the session
+// exists but lives on a different fleet backend than the one addressed.
 func parseErrResp(body []byte) *api.Error {
 	if len(body) == 0 {
 		return api.Errf(api.CodeInternal, "rpc: empty error frame")

@@ -81,19 +81,24 @@ const (
 // logs for.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	mux.HandleFunc("GET /v1/sessions", s.handleList)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	RegisterAPIRoutes(mux, s, func(total, decode, encode time.Duration) {
+		s.metrics.observeServedStep(transportHTTP, total, decode, encode)
+	})
 	mux.HandleFunc("POST /v1/sessions/{id}/stream", s.handleStreamStep)
 	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleSessionStream)
-	mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
-	mux.HandleFunc("POST /v1/sessions/import", s.handleImport)
-	mux.HandleFunc("POST /v1/step", s.handleBatch)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /statsz", s.handleStats)
 	mux.Handle("GET /metricsz", s.metrics.Handler())
+	return TraceHandler(mux, func(d time.Duration) {
+		s.metrics.observeTransport(transportHTTP, d)
+	})
+}
+
+// TraceHandler wraps h in the transport middleware every priste HTTP
+// listener shares: it adopts a well-formed client X-Priste-Trace header
+// (minting a fresh trace ID otherwise), echoes the effective ID on the
+// response, tags the request context with trace + transport for the
+// structured logs, and reports each request's wall time to observe
+// (which may be nil).
+func TraceHandler(h http.Handler, observe func(time.Duration)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		trace := obs.ParseTrace(r.Header.Get(obs.TraceHeader))
@@ -102,21 +107,60 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Header().Set(obs.TraceHeader, obs.FormatTrace(trace))
 		ctx := obs.WithTrace(obs.WithTransport(r.Context(), "http"), trace)
-		mux.ServeHTTP(w, r.WithContext(ctx))
-		s.metrics.observeTransport(transportHTTP, time.Since(start))
+		h.ServeHTTP(w, r.WithContext(ctx))
+		if observe != nil {
+			observe(time.Since(start))
+		}
 	})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// RegisterAPIRoutes installs the HTTP/JSON codec for the non-streaming
+// api.Service surface on mux — the same routes, bodies and error
+// envelope whether svc is the in-process engine (*Server) or the fleet
+// router. observeStep, if non-nil, receives the total/decode/encode
+// wall times of each successfully served step request.
+//
+// Routes registered: the /v1/sessions CRUD + step + export/import set,
+// /v1/step batch ingest, /healthz and /statsz. Streaming routes and
+// /metricsz stay with the caller: they depend on capabilities beyond
+// api.Service.
+func RegisterAPIRoutes(mux *http.ServeMux, svc api.Service, observeStep func(total, decode, encode time.Duration)) {
+	c := &apiCodec{svc: svc, observeStep: observeStep}
+	mux.HandleFunc("POST /v1/sessions", c.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", c.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", c.handleGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", c.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", c.handleStep)
+	mux.HandleFunc("GET /v1/sessions/{id}/export", c.handleExport)
+	mux.HandleFunc("POST /v1/sessions/import", c.handleImport)
+	mux.HandleFunc("POST /v1/step", c.handleBatch)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("GET /statsz", c.handleStats)
+}
+
+// apiCodec is the shared HTTP/JSON request codec over an api.Service.
+type apiCodec struct {
+	svc         api.Service
+	observeStep func(total, decode, encode time.Duration)
+}
+
+// WriteJSON writes v as the JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// WriteError renders err through the canonical error envelope: the
+// api.ErrorOf code picks the HTTP status and the body carries
+// {"error": message, "code": code}.
+func WriteError(w http.ResponseWriter, err error) {
 	e := api.ErrorOf(err)
-	writeJSON(w, e.Code.HTTPStatus(), errorBody{Error: e.Message, Code: e.Code})
+	WriteJSON(w, e.Code.HTTPStatus(), errorBody{Error: e.Message, Code: e.Code})
 }
+
+func writeJSON(w http.ResponseWriter, status int, v any) { WriteJSON(w, status, v) }
+func writeError(w http.ResponseWriter, err error)        { WriteError(w, err) }
 
 func decodeJSON(r *http.Request, v any, limit int64) error {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
@@ -127,122 +171,124 @@ func decodeJSON(r *http.Request, v any, limit int64) error {
 	return nil
 }
 
-func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+func (c *apiCodec) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req api.CreateSessionRequest
 	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	info, err := s.CreateSession(req)
+	info, err := c.svc.CreateSession(req)
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, info)
+	WriteJSON(w, http.StatusCreated, info)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+func (c *apiCodec) handleList(w http.ResponseWriter, r *http.Request) {
 	req := api.ListSessionsRequest{Cursor: r.URL.Query().Get("cursor")}
 	if raw := r.URL.Query().Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil {
-			writeError(w, api.Errf(api.CodeInvalidArgument, "server: bad limit: "+raw))
+			WriteError(w, api.Errf(api.CodeInvalidArgument, "server: bad limit: "+raw))
 			return
 		}
 		req.Limit = n
 	}
-	page, err := s.ListSessions(req)
+	page, err := c.svc.ListSessions(req)
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, page)
+	WriteJSON(w, http.StatusOK, page)
 }
 
-func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	info, err := s.GetSession(r.PathValue("id"))
+func (c *apiCodec) handleGet(w http.ResponseWriter, r *http.Request) {
+	info, err := c.svc.GetSession(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	WriteJSON(w, http.StatusOK, info)
 }
 
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.DeleteSession(r.PathValue("id")); err != nil {
-		writeError(w, err)
+func (c *apiCodec) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := c.svc.DeleteSession(r.PathValue("id")); err != nil {
+		WriteError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+func (c *apiCodec) handleStep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req api.StepRequest
 	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	decode := time.Since(start)
-	resp, err := s.Step(r.Context(), r.PathValue("id"), req.Loc)
+	resp, err := c.svc.Step(r.Context(), r.PathValue("id"), req.Loc)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// Client gone; any in-flight worker completes into the
 			// buffered channel. Nothing useful to write.
 			return
 		}
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	encStart := time.Now()
-	writeJSON(w, http.StatusOK, resp)
-	s.metrics.observeServedStep(transportHTTP, time.Since(start), decode, time.Since(encStart))
+	WriteJSON(w, http.StatusOK, resp)
+	if c.observeStep != nil {
+		c.observeStep(time.Since(start), decode, time.Since(encStart))
+	}
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (c *apiCodec) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req api.BatchStepRequest
 	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.BatchStepResponse{Results: s.StepBatch(r.Context(), req.Steps)})
+	WriteJSON(w, http.StatusOK, api.BatchStepResponse{Results: c.svc.StepBatch(r.Context(), req.Steps)})
 }
 
-func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
-	exp, err := s.ExportSession(r.Context(), r.PathValue("id"))
+func (c *apiCodec) handleExport(w http.ResponseWriter, r *http.Request) {
+	exp, err := c.svc.ExportSession(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, exp)
+	WriteJSON(w, http.StatusOK, exp)
 }
 
-func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+func (c *apiCodec) handleImport(w http.ResponseWriter, r *http.Request) {
 	var exp api.SessionExport
 	if err := decodeJSON(r, &exp, maxImportBodyBytes); err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	info, err := s.ImportSession(exp)
+	info, err := c.svc.ImportSession(exp)
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, info)
+	WriteJSON(w, http.StatusCreated, info)
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	h := s.Health()
+func (c *apiCodec) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := c.svc.Health()
 	status := http.StatusOK
 	if h.Status != "ok" {
-		// "draining": graceful shutdown in progress. 503 pulls the
-		// instance out of load-balancer rotation before the listener
-		// closes.
+		// "draining": graceful shutdown in progress (or, on a router, no
+		// reachable backends). 503 pulls the instance out of
+		// load-balancer rotation before the listener closes.
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, h)
+	WriteJSON(w, status, h)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+func (c *apiCodec) handleStats(w http.ResponseWriter, _ *http.Request) {
+	WriteJSON(w, http.StatusOK, c.svc.Stats())
 }

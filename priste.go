@@ -56,6 +56,8 @@ import (
 	"priste/internal/markov"
 	"priste/internal/mat"
 	"priste/internal/qp"
+	"priste/internal/ring"
+	"priste/internal/router"
 	"priste/internal/rpc"
 	"priste/internal/server"
 	"priste/internal/store"
@@ -454,6 +456,42 @@ func NewRPCServer(srv *Server) *RPCServer {
 // DialRPC returns a binary RPC client for the pristed RPC listener at
 // addr (connected lazily on first use).
 func DialRPC(addr string) (*RPCClient, error) { return rpc.Dial(addr) }
+
+// Fleet (cmd/pristerouter): a stateless front door that shards sessions
+// across many pristed backends with a consistent-hash ring and serves
+// the same versioned API a single pristed does. Ring changes re-home
+// only the sessions in the moved hash ranges through the export→import
+// migration path, fingerprint-verified, with in-flight steps parked per
+// session during each handoff.
+type (
+	// Ring is the immutable consistent-hash ring (virtual nodes,
+	// deterministic placement, minimal movement on membership change).
+	Ring = ring.Ring
+	// Router is the fleet session router; it implements APIService over
+	// a set of RouterBackends.
+	Router = router.Router
+	// RouterConfig tunes the router: backends, ring width, health-probe
+	// hysteresis and migration/call timeouts.
+	RouterConfig = router.Config
+	// RouterBackend names one pristed backend and the APIClient to
+	// reach it.
+	RouterBackend = router.Backend
+	// RebalanceReport summarises one drain/re-home pass.
+	RebalanceReport = router.RebalanceReport
+	// FleetStats is the router's /statsz fleet section: ring epoch,
+	// per-backend health/placement and the migration counters.
+	FleetStats = api.FleetStats
+)
+
+// NewRing returns a consistent-hash ring over the named members with
+// vnodes virtual nodes each (vnodes <= 0 uses the default, 128).
+func NewRing(vnodes int, members ...string) *Ring { return ring.New(vnodes, members...) }
+
+// NewRouter starts a fleet router (health-probe loop included) over the
+// configured backends; release it with Shutdown. Its Handler serves the
+// pristed HTTP surface plus the /v1/fleet admin routes, and it can sit
+// behind an RPCServer like any APIService.
+func NewRouter(cfg RouterConfig) (*Router, error) { return router.New(cfg) }
 
 // Durability: sessions survive restarts through a pluggable store — an
 // append-only per-session WAL of committed release tags plus periodic
